@@ -1,0 +1,48 @@
+//! DESIGN.md §4 ablation: DiskANN beam width W — W = 1 is classic best-first
+//! search (one round trip per hop); wider beams batch reads per hop. This
+//! measures the *algorithmic* cost (distance evaluations, candidate-list
+//! maintenance) per search; the latency effect of batching shows up in the
+//! vdbbench fig12–fig15 harness, which adds the device model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_core::Metric;
+use sann_datagen::EmbeddingModel;
+use sann_index::{DiskAnnConfig, DiskAnnIndex, SearchParams, VamanaConfig, VectorIndex};
+
+fn bench_beam_width(c: &mut Criterion) {
+    let model = EmbeddingModel::new(128, 16, 15);
+    let base = model.generate(5_000);
+    let queries = model.generate_queries(32);
+    let index = DiskAnnIndex::build(
+        &base,
+        Metric::L2,
+        DiskAnnConfig {
+            graph: VamanaConfig { r: 32, ..VamanaConfig::default() },
+            ..DiskAnnConfig::default()
+        },
+    )
+    .expect("index builds");
+
+    let mut group = c.benchmark_group("diskann_beam");
+    for w in [1usize, 2, 4, 8, 16] {
+        let params = SearchParams::default().with_search_list(100).with_beam_width(w);
+        let mut qi = 0usize;
+        group.bench_function(format!("search_l100/w{w}"), |b| {
+            b.iter(|| {
+                qi = (qi + 1) % 32;
+                black_box(index.search(queries.row(qi), 10, &params).expect("search"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_beam_width
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! DESIGN.md §4 ablation: Vamana's α-RNG pruning vs a plain (α = 1.0)
+//! relative-neighborhood graph. α > 1 keeps long-range edges, which should
+//! shorten search (fewer distance evaluations to converge) at equal recall.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_core::Metric;
+use sann_datagen::EmbeddingModel;
+use sann_index::{VamanaConfig, VamanaGraph};
+
+fn bench_alpha(c: &mut Criterion) {
+    let model = EmbeddingModel::new(128, 16, 13);
+    let base = model.generate(5_000);
+    let queries = model.generate_queries(32);
+
+    let mut group = c.benchmark_group("vamana_alpha");
+    for alpha in [1.0f32, 1.2, 1.5] {
+        let graph = VamanaGraph::build(
+            &base,
+            Metric::L2,
+            VamanaConfig { alpha, r: 32, ..VamanaConfig::default() },
+        )
+        .expect("graph builds");
+        let mut qi = 0usize;
+        group.bench_function(format!("search_l50/alpha_{alpha}"), |b| {
+            b.iter(|| {
+                qi = (qi + 1) % 32;
+                black_box(graph.greedy_search(&base, Metric::L2, queries.row(qi), 50))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let model = EmbeddingModel::new(64, 8, 14);
+    let base = model.generate(800);
+    let mut group = c.benchmark_group("vamana_build");
+    for alpha in [1.0f32, 1.2] {
+        group.bench_function(format!("n800_r32/alpha_{alpha}"), |b| {
+            b.iter(|| {
+                black_box(
+                    VamanaGraph::build(
+                        &base,
+                        Metric::L2,
+                        VamanaConfig { alpha, r: 32, ..VamanaConfig::default() },
+                    )
+                    .expect("graph builds"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_alpha, bench_build
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Distance-kernel microbenchmarks at the paper's two embedding
+//! dimensionalities (768 and 1536). These kernels are the unit of the
+//! engine's [`sann_engine::CostModel`]; the measured numbers justify its
+//! `dist_us_per_dim` default.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_core::distance::{cosine_distance, dot, l2_squared};
+use sann_core::rng::SplitMix64;
+
+fn random_vec(dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..dim).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [768usize, 1536] {
+        let a = random_vec(dim, 1);
+        let b = random_vec(dim, 2);
+        group.bench_function(format!("l2_squared/{dim}"), |bencher| {
+            bencher.iter(|| l2_squared(black_box(&a), black_box(&b)))
+        });
+        group.bench_function(format!("dot/{dim}"), |bencher| {
+            bencher.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_function(format!("cosine/{dim}"), |bencher| {
+            bencher.iter(|| cosine_distance(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_scan(c: &mut Criterion) {
+    // A 1,000-vector scan: the IVF posting-list inner loop.
+    let dim = 768;
+    let n = 1_000;
+    let mut rng = SplitMix64::new(3);
+    let data: Vec<f32> = (0..n * dim).map(|_| rng.next_f32()).collect();
+    let q = random_vec(dim, 4);
+    c.bench_function("distance/scan_1k_768d", |bencher| {
+        bencher.iter(|| {
+            let mut best = f32::INFINITY;
+            for i in 0..n {
+                let d = l2_squared(black_box(&q), &data[i * dim..(i + 1) * dim]);
+                if d < best {
+                    best = d;
+                }
+            }
+            best
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels, bench_batch_scan
+);
+criterion_main!(benches);

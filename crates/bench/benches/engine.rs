@@ -1,0 +1,61 @@
+//! Execution-engine microbenchmarks: events per second of host time (the
+//! DESIGN.md §4 ablation for the trace-replay design) and end-to-end
+//! simulated-run cost at low and high concurrency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_engine::{Executor, QueryPlan, RunConfig, Segment};
+use sann_index::IoReq;
+
+fn diskann_like_plan() -> QueryPlan {
+    let mut segs = Vec::new();
+    segs.push(Segment::delay(400.0));
+    for hop in 0..10u64 {
+        segs.push(Segment::cpu_parallel(120.0, 4));
+        segs.push(Segment::io(vec![
+            IoReq::new(hop * 16384, 4096),
+            IoReq::new(hop * 16384 + 4096, 4096),
+            IoReq::new(hop * 16384 + 8192, 4096),
+            IoReq::new(hop * 16384 + 12288, 4096),
+        ]));
+    }
+    QueryPlan::new(segs)
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let plan = diskann_like_plan();
+    let mut group = c.benchmark_group("engine");
+    for conc in [1usize, 256] {
+        let config = RunConfig {
+            cores: 20,
+            concurrency: conc,
+            duration_us: 0.2e6,
+            ..RunConfig::default()
+        };
+        group.bench_function(format!("run_0.2s_conc{conc}"), |b| {
+            b.iter(|| black_box(Executor::new(config).run(std::slice::from_ref(&plan))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_only_throughput(c: &mut Criterion) {
+    // Pure-CPU plan: measures raw event-loop throughput without the device.
+    let plan = QueryPlan::new(vec![Segment::cpu(50.0)]);
+    let config =
+        RunConfig { cores: 8, concurrency: 64, duration_us: 0.2e6, ..RunConfig::default() };
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("run_cpu_only_0.2s_conc64", |b| {
+        b.iter(|| black_box(Executor::new(config).run(std::slice::from_ref(&plan))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_runs, bench_cpu_only_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Search-throughput microbenchmarks of the four index families on one
+//! dataset, at the paper's Table II search parameters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_core::Metric;
+use sann_datagen::EmbeddingModel;
+use sann_index::{
+    DiskAnnConfig, DiskAnnIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex,
+    SearchParams, VamanaConfig, VectorIndex,
+};
+
+const N: usize = 5_000;
+const DIM: usize = 128;
+
+fn world() -> (sann_core::Dataset, sann_core::Dataset) {
+    let model = EmbeddingModel::new(DIM, 16, 9);
+    (model.generate(N), model.generate_queries(64))
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let (base, queries) = world();
+    let flat = FlatIndex::build(&base, Metric::L2);
+    let ivf =
+        IvfIndex::build(&base, Metric::L2, IvfConfig::default().with_nlist(128)).expect("ivf");
+    let hnsw = HnswIndex::build(&base, Metric::L2, HnswConfig::default()).expect("hnsw");
+    let diskann = DiskAnnIndex::build(
+        &base,
+        Metric::L2,
+        DiskAnnConfig {
+            graph: VamanaConfig { r: 32, ..VamanaConfig::default() },
+            ..DiskAnnConfig::default()
+        },
+    )
+    .expect("diskann");
+
+    let params = SearchParams::default();
+    let mut qi = 0usize;
+    let mut next_query = move || {
+        qi = (qi + 1) % 64;
+        qi
+    };
+
+    let mut group = c.benchmark_group("index_search_k10");
+    group.bench_function("flat", |b| {
+        b.iter(|| flat.search(black_box(queries.row(next_query())), 10, &params))
+    });
+    let mut qi2 = 0usize;
+    group.bench_function("ivf_nprobe16", |b| {
+        b.iter(|| {
+            qi2 = (qi2 + 1) % 64;
+            ivf.search(black_box(queries.row(qi2)), 10, &params)
+        })
+    });
+    let mut qi3 = 0usize;
+    group.bench_function("hnsw_ef27", |b| {
+        b.iter(|| {
+            qi3 = (qi3 + 1) % 64;
+            hnsw.search(black_box(queries.row(qi3)), 10, &params)
+        })
+    });
+    let mut qi4 = 0usize;
+    group.bench_function("diskann_l10_w4", |b| {
+        b.iter(|| {
+            qi4 = (qi4 + 1) % 64;
+            diskann.search(black_box(queries.row(qi4)), 10, &params)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_indexes
+);
+criterion_main!(benches);

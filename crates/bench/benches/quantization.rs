@@ -1,0 +1,57 @@
+//! Quantization microbenchmarks: PQ encode, ADC table construction, ADC
+//! lookups, and scalar quantization — the in-memory costs of the
+//! storage-based indexes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_datagen::EmbeddingModel;
+use sann_quant::{ProductQuantizer, ScalarQuantizer};
+
+fn bench_pq(c: &mut Criterion) {
+    let model = EmbeddingModel::new(768, 16, 7);
+    let data = model.generate(2_000);
+    let pq = ProductQuantizer::train(&data, 96, 64, 1).expect("pq trains");
+    let codes = pq.encode_all(&data);
+    let q = data.row(0).to_vec();
+    let code = pq.encode(&q);
+    let table = pq.distance_table(&q);
+
+    c.bench_function("pq/encode_768d_m96", |b| b.iter(|| pq.encode(black_box(&q))));
+    c.bench_function("pq/distance_table_768d_m96", |b| {
+        b.iter(|| pq.distance_table(black_box(&q)))
+    });
+    c.bench_function("pq/adc_single", |b| b.iter(|| table.distance(black_box(&code))));
+    c.bench_function("pq/adc_scan_1k", |b| {
+        b.iter(|| {
+            let mut best = f32::INFINITY;
+            for i in 0..1_000 {
+                let d = table.distance_at(black_box(&codes), i);
+                if d < best {
+                    best = d;
+                }
+            }
+            best
+        })
+    });
+}
+
+fn bench_sq(c: &mut Criterion) {
+    let model = EmbeddingModel::new(768, 16, 8);
+    let data = model.generate(1_000);
+    let sq = ScalarQuantizer::train(&data).expect("sq trains");
+    let q = data.row(0).to_vec();
+    let code = sq.encode(&q);
+    c.bench_function("sq/encode_768d", |b| b.iter(|| sq.encode(black_box(&q))));
+    c.bench_function("sq/asymmetric_distance_768d", |b| {
+        b.iter(|| sq.distance(black_box(&q), black_box(&code)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pq, bench_sq
+);
+criterion_main!(benches);

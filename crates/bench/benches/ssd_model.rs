@@ -1,0 +1,47 @@
+//! Device-model microbenchmarks: the simulator must schedule millions of
+//! requests per second of host time for 256-thread sweeps to be cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_ssdsim::{Calibrator, DeviceSim, PageCache, SsdModel};
+
+fn bench_device(c: &mut Criterion) {
+    c.bench_function("ssd/schedule_4k", |b| {
+        let mut dev = DeviceSim::new(SsdModel::samsung_990_pro());
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 1.0;
+            black_box(dev.schedule(t, 4096))
+        })
+    });
+
+    c.bench_function("ssd/calibration_run", |b| {
+        let calibrator = Calibrator::new(SsdModel::samsung_990_pro()).with_duration_us(10_000.0);
+        b.iter(|| black_box(calibrator.run()))
+    });
+}
+
+fn bench_pagecache(c: &mut Criterion) {
+    c.bench_function("pagecache/hit", |b| {
+        let mut cache = PageCache::new(1 << 20);
+        cache.access(0, 4096);
+        b.iter(|| black_box(cache.access(0, 4096)))
+    });
+    c.bench_function("pagecache/miss_evict", |b| {
+        let mut cache = PageCache::new(64 * 4096);
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 1;
+            black_box(cache.access(page * 4096, 4096))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_device, bench_pagecache
+);
+criterion_main!(benches);

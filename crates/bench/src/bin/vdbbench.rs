@@ -1,0 +1,80 @@
+//! `vdbbench` — reproduces every table and figure of the paper.
+//!
+//! ```text
+//! vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] <subcommand>
+//!
+//! subcommands:
+//!   table1        device envelope (fio-equivalent calibration)
+//!   table2        index parameters and achieved recall@10
+//!   fig2          throughput vs concurrency, all setups
+//!   fig3          P99 latency vs concurrency, all setups
+//!   fig4          CPU usage vs concurrency (large datasets)
+//!   fig5          DiskANN bandwidth timelines
+//!   fig6          DiskANN per-query bandwidth + request sizes
+//!   fig7..fig11   search_list sweeps (run together as `fig7`)
+//!   fig12..fig15  beam_width sweeps (run together as `fig12`)
+//!   ext-rw        extension: hybrid read-write workloads (SVIII)
+//!   ext-filter    extension: payload-filtered search (SVIII)
+//!   ext-spann     extension: DiskANN vs SPANN storage indexes (SII-B)
+//!   all           everything above in order
+//! ```
+
+use sann_bench::{
+    context::BenchContext, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6, fig7_11, table1, table2,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(err) = real_main(&args) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main(args: &[String]) -> sann_core::Result<()> {
+    let (mut ctx, rest) = BenchContext::from_args(args)?;
+    let sub = rest.first().map(String::as_str).unwrap_or("help");
+    let started = std::time::Instant::now();
+    match sub {
+        "table1" => println!("{}", table1::run(&ctx)?),
+        "table2" => println!("{}", table2::run(&mut ctx)?),
+        "fig2" => println!("{}", fig2_4::run(&mut ctx, fig2_4::Figure::Throughput)?),
+        "fig3" => println!("{}", fig2_4::run(&mut ctx, fig2_4::Figure::P99Latency)?),
+        "fig4" => println!("{}", fig2_4::run(&mut ctx, fig2_4::Figure::CpuUsage)?),
+        "fig5" => println!("{}", fig5_6::run_fig5(&mut ctx)?),
+        "fig6" => println!("{}", fig5_6::run_fig6(&mut ctx)?),
+        "fig7" | "fig8" | "fig9" | "fig10" | "fig11" => {
+            println!("{}", fig7_11::run(&mut ctx)?)
+        }
+        "fig12" | "fig13" | "fig14" | "fig15" => println!("{}", fig12_15::run(&mut ctx)?),
+        "ext-rw" => println!("{}", ext_rw::run(&mut ctx)?),
+        "ext-filter" => println!("{}", ext_filter::run(&mut ctx)?),
+        "ext-spann" => println!("{}", ext_spann::run(&mut ctx)?),
+        "all" => {
+            println!("{}", table1::run(&ctx)?);
+            println!("{}", table2::run(&mut ctx)?);
+            println!("{}", fig2_4::run(&mut ctx, fig2_4::Figure::Throughput)?);
+            println!("{}", fig2_4::run(&mut ctx, fig2_4::Figure::P99Latency)?);
+            println!("{}", fig2_4::run(&mut ctx, fig2_4::Figure::CpuUsage)?);
+            println!("{}", fig5_6::run_fig5(&mut ctx)?);
+            println!("{}", fig5_6::run_fig6(&mut ctx)?);
+            println!("{}", fig7_11::run(&mut ctx)?);
+            println!("{}", fig12_15::run(&mut ctx)?);
+            println!("{}", ext_rw::run(&mut ctx)?);
+            println!("{}", ext_filter::run(&mut ctx)?);
+            println!("{}", ext_spann::run(&mut ctx)?);
+        }
+        "help" | "--help" | "-h" => {
+            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|all>");
+            return Ok(());
+        }
+        other => {
+            return Err(sann_core::Error::invalid_parameter(
+                "subcommand",
+                format!("unknown subcommand `{other}` (see `vdbbench help`)"),
+            ));
+        }
+    }
+    eprintln!("[done] {sub} in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}

@@ -1,0 +1,398 @@
+//! Shared experiment state: datasets, ground truth, and built/tuned indexes,
+//! cached so `vdbbench all` builds everything exactly once.
+//!
+//! Three layers of caching keep the harness affordable:
+//!
+//! * **datasets** — generated + ground-truthed once per name;
+//! * **indexes** — shared across setups that build the same structure
+//!   (Milvus/Qdrant/Weaviate/LanceDB all search one HNSW build, exactly as
+//!   the paper uses the same build-time parameters across databases);
+//! * **runs** — each (setup × concurrency) simulation at tuned parameters is
+//!   executed once and reused by Figs. 2, 3, 4, and 5.
+
+use sann_core::{Metric, Result};
+use sann_datagen::{catalog, DatasetSpec, GroundTruth};
+use sann_engine::{Executor, QueryPlan, RunConfig, RunMetrics};
+use sann_index::VectorIndex;
+use sann_vdb::{Setup, SetupKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Recall target the paper tunes every setup to (recall@10 ≥ 0.9).
+pub const RECALL_TARGET: f64 = 0.9;
+
+/// `k` for every search (the paper reports recall@10).
+pub const K: usize = 10;
+
+/// Queries used while tuning knobs (recall is re-measured on the full set
+/// afterwards).
+const TUNE_QUERIES: usize = 200;
+
+/// A dataset with its ground truth, generated once.
+pub struct PreparedDataset {
+    /// The spec (already scaled).
+    pub spec: DatasetSpec,
+    /// Base vectors.
+    pub base: sann_core::Dataset,
+    /// Query vectors.
+    pub queries: sann_core::Dataset,
+    /// Exact top-K of each query.
+    pub truth: GroundTruth,
+    /// Prefix of `queries` used for knob tuning.
+    pub tune_queries: sann_core::Dataset,
+    /// Ground truth of the tuning prefix.
+    pub tune_truth: GroundTruth,
+}
+
+/// A built index with its tuned setup and achieved recall.
+pub struct PreparedSetup {
+    /// Tuned setup (knob set by [`Setup::tune`]).
+    pub setup: Setup,
+    /// The built index (shared across setups with identical builds).
+    pub index: Arc<dyn VectorIndex>,
+    /// Recall@10 achieved at the tuned knob (on the full query set).
+    pub recall: f64,
+}
+
+/// Harness configuration plus lazily-populated caches.
+pub struct BenchContext {
+    /// Dataset scale factor relative to the paper (default 0.002 — this
+    /// harness targets a single-core CI box; raise it on real hardware).
+    pub scale: f64,
+    /// Simulated host cores (paper: 20).
+    pub cores: usize,
+    /// Simulated run duration per measurement, µs. The paper runs 30 s of
+    /// wall-clock; the simulation is deterministic and reaches steady state
+    /// immediately, so 5 s (the default) yields the same rates — pass
+    /// `--duration-secs 30` for full fidelity.
+    pub duration_us: f64,
+    /// Restrict to one dataset by name (e.g. `cohere-s`), or run all four.
+    pub only_dataset: Option<String>,
+    /// Directory for CSV outputs.
+    pub results_dir: std::path::PathBuf,
+    datasets: HashMap<String, PreparedDataset>,
+    indexes: HashMap<(String, &'static str), Arc<dyn VectorIndex>>,
+    setups: HashMap<(String, SetupKind), PreparedSetup>,
+    plans: HashMap<(String, SetupKind), Arc<Vec<QueryPlan>>>,
+    runs: HashMap<(String, SetupKind, usize), RunMetrics>,
+}
+
+impl BenchContext {
+    /// Creates a context with paper-default settings at the given scale.
+    pub fn new(scale: f64) -> BenchContext {
+        BenchContext {
+            scale,
+            cores: 20,
+            duration_us: 5e6,
+            only_dataset: None,
+            results_dir: std::path::PathBuf::from("results"),
+            datasets: HashMap::new(),
+            indexes: HashMap::new(),
+            setups: HashMap::new(),
+            plans: HashMap::new(),
+            runs: HashMap::new(),
+        }
+    }
+
+    /// Parses harness flags (`--scale X`, `--cores N`, `--duration-secs S`,
+    /// `--dataset NAME`, `--results DIR`). Unrecognized flags are returned
+    /// for the caller (subcommand) to interpret.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sann_core::Error::InvalidParameter`] on malformed values.
+    pub fn from_args(args: &[String]) -> Result<(BenchContext, Vec<String>)> {
+        let mut ctx = BenchContext::new(0.002);
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &'static str| -> Result<String> {
+                it.next().cloned().ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", format!("{name} needs a value"))
+                })
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    ctx.scale = parse_f64("--scale", &take("--scale")?)?;
+                }
+                "--cores" => {
+                    ctx.cores = parse_f64("--cores", &take("--cores")?)? as usize;
+                }
+                "--duration-secs" => {
+                    ctx.duration_us =
+                        parse_f64("--duration-secs", &take("--duration-secs")?)? * 1e6;
+                }
+                "--dataset" => {
+                    ctx.only_dataset = Some(take("--dataset")?);
+                }
+                "--results" => {
+                    ctx.results_dir = std::path::PathBuf::from(take("--results")?);
+                }
+                other => rest.push(other.to_owned()),
+            }
+        }
+        Ok((ctx, rest))
+    }
+
+    /// The dataset specs this run covers (all four, or the `--dataset` one),
+    /// scaled.
+    pub fn dataset_specs(&self) -> Vec<DatasetSpec> {
+        catalog::all()
+            .into_iter()
+            .filter(|s| self.only_dataset.as_deref().map(|o| o == s.name).unwrap_or(true))
+            .map(|s| s.scaled(self.scale))
+            .collect()
+    }
+
+    /// Generates (or returns cached) base/queries/ground-truth for a spec.
+    pub fn dataset(&mut self, spec: &DatasetSpec) -> &PreparedDataset {
+        if !self.datasets.contains_key(&spec.name) {
+            eprintln!(
+                "[prep] generating {} ({} x {}-d) + ground truth",
+                spec.name, spec.n_base, spec.dim
+            );
+            let bundle = spec.generate();
+            let truth = GroundTruth::bruteforce(&bundle.base, &bundle.queries, spec.metric, K);
+            let tune_queries = bundle.queries.truncated(TUNE_QUERIES);
+            let tune_truth =
+                GroundTruth::bruteforce(&bundle.base, &tune_queries, spec.metric, K);
+            self.datasets.insert(
+                spec.name.clone(),
+                PreparedDataset {
+                    spec: spec.clone(),
+                    base: bundle.base,
+                    queries: bundle.queries,
+                    truth,
+                    tune_queries,
+                    tune_truth,
+                },
+            );
+        }
+        &self.datasets[&spec.name]
+    }
+
+    /// Builds and tunes (or returns cached) a setup on a dataset. Index
+    /// structures are shared between setups whose build parameters coincide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/tune errors.
+    pub fn setup(&mut self, spec: &DatasetSpec, kind: SetupKind) -> Result<&PreparedSetup> {
+        let key = (spec.name.clone(), kind);
+        if !self.setups.contains_key(&key) {
+            self.dataset(spec); // ensure dataset exists
+            let mut setup = Setup::new(kind, self.datasets[&spec.name].base.len());
+            let family = index_family(kind);
+            let index_key = (spec.name.clone(), family);
+            if !self.indexes.contains_key(&index_key) {
+                eprintln!("[prep] building {} index on {}", family, spec.name);
+                let data = &self.datasets[&spec.name];
+                let built: Arc<dyn VectorIndex> =
+                    Arc::from(setup.build_index(&data.base, Metric::L2)?);
+                self.indexes.insert(index_key.clone(), built);
+            }
+            let index = Arc::clone(&self.indexes[&index_key]);
+            let data = &self.datasets[&spec.name];
+            setup.tune(index.as_ref(), &data.tune_queries, &data.tune_truth, RECALL_TARGET)?;
+            let recall = setup.recall(index.as_ref(), &data.queries, &data.truth, K)?;
+            eprintln!(
+                "[prep] {} on {}: knob={} recall@10={:.3}",
+                kind.name(),
+                spec.name,
+                setup.knob(),
+                recall
+            );
+            self.setups.insert(key.clone(), PreparedSetup { setup, index, recall });
+        }
+        Ok(&self.setups[&key])
+    }
+
+    /// Returns the prepared dataset and setup together (both cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/tune errors.
+    pub fn dataset_and_setup(
+        &mut self,
+        spec: &DatasetSpec,
+        kind: SetupKind,
+    ) -> Result<(&PreparedDataset, &PreparedSetup)> {
+        self.setup(spec, kind)?;
+        let data = &self.datasets[&spec.name];
+        let prepared = &self.setups[&(spec.name.clone(), kind)];
+        Ok((data, prepared))
+    }
+
+    /// The plan compiler for a setup on a dataset: delegates to
+    /// [`sann_vdb::setup::calibrated_plan_builder`] with this context's
+    /// scale.
+    pub fn plan_builder_for(&self, spec: &DatasetSpec, kind: SetupKind) -> sann_engine::PlanBuilder {
+        sann_vdb::setup::calibrated_plan_builder(kind, Setup::size_ratio(spec), self.scale)
+    }
+
+    /// Compiles (or returns cached) the plans of a prepared setup: traces at
+    /// the setup's tuned parameters, compiled under the setup's DB profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors.
+    pub fn plans(&mut self, spec: &DatasetSpec, kind: SetupKind) -> Result<Arc<Vec<QueryPlan>>> {
+        let key = (spec.name.clone(), kind);
+        if !self.plans.contains_key(&key) {
+            let builder = self.plan_builder_for(spec, kind);
+            let (data, prepared) = self.dataset_and_setup(spec, kind)?;
+            let traces = prepared.setup.traces(prepared.index.as_ref(), &data.queries, K)?;
+            let plans = Arc::new(builder.build_all(&traces));
+            self.plans.insert(key.clone(), plans);
+        }
+        Ok(Arc::clone(&self.plans[&key]))
+    }
+
+    /// Runs the setup's tuned plans at a concurrency level, cached across
+    /// figures. Returns `None` when the profile does not support the
+    /// concurrency (the paper's LanceDB-HNSW out-of-memory points).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/search errors.
+    pub fn run_tuned(
+        &mut self,
+        spec: &DatasetSpec,
+        kind: SetupKind,
+        concurrency: usize,
+    ) -> Result<Option<RunMetrics>> {
+        if !kind.profile().supports_clients(concurrency) {
+            return Ok(None);
+        }
+        let key = (spec.name.clone(), kind, concurrency);
+        if !self.runs.contains_key(&key) {
+            let plans = self.plans(spec, kind)?;
+            let metrics = self
+                .run(kind, &plans, concurrency)
+                .expect("client support checked above");
+            self.runs.insert(key.clone(), metrics);
+        }
+        Ok(Some(self.runs[&key].clone()))
+    }
+
+    /// Runs arbitrary plans at a concurrency level under the setup's profile
+    /// (uncached — for parameter sweeps). Returns `None` when the profile
+    /// does not support the concurrency.
+    pub fn run(
+        &self,
+        kind: SetupKind,
+        plans: &[QueryPlan],
+        concurrency: usize,
+    ) -> Option<RunMetrics> {
+        let profile = kind.profile();
+        if !profile.supports_clients(concurrency) {
+            return None;
+        }
+        let config = RunConfig {
+            cores: self.cores,
+            concurrency,
+            duration_us: self.duration_us,
+            max_concurrent: profile.max_concurrent,
+            cache_bytes: profile.cache_bytes,
+            ..RunConfig::default()
+        };
+        Some(Executor::new(config).run(plans))
+    }
+
+    /// Writes a CSV file under the results directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, name: &str, content: &str) -> Result<()> {
+        std::fs::create_dir_all(&self.results_dir)?;
+        std::fs::write(self.results_dir.join(name), content)?;
+        Ok(())
+    }
+}
+
+/// The index-structure family a setup builds (setups in the same family
+/// share one build).
+fn index_family(kind: SetupKind) -> &'static str {
+    match kind {
+        SetupKind::MilvusIvf => "ivf",
+        SetupKind::MilvusDiskann => "diskann",
+        SetupKind::LancedbIvf => "ivf-pq",
+        SetupKind::LancedbHnsw => "hnsw-sq",
+        SetupKind::MilvusHnsw | SetupKind::QdrantHnsw | SetupKind::WeaviateHnsw => "hnsw",
+    }
+}
+
+fn parse_f64(name: &'static str, value: &str) -> Result<f64> {
+    value
+        .parse()
+        .map_err(|_| sann_core::Error::invalid_parameter("args", format!("bad value for {name}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_passes_rest() {
+        let args: Vec<String> = ["--scale", "0.01", "--cores", "8", "fig2", "--dataset", "cohere-s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (ctx, rest) = BenchContext::from_args(&args).unwrap();
+        assert_eq!(ctx.scale, 0.01);
+        assert_eq!(ctx.cores, 8);
+        assert_eq!(ctx.only_dataset.as_deref(), Some("cohere-s"));
+        assert_eq!(rest, vec!["fig2"]);
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        let args: Vec<String> = ["--scale", "banana"].iter().map(|s| s.to_string()).collect();
+        assert!(BenchContext::from_args(&args).is_err());
+        let args: Vec<String> = vec!["--scale".into()];
+        assert!(BenchContext::from_args(&args).is_err());
+    }
+
+    #[test]
+    fn dataset_filter_applies() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("openai-s".into());
+        let specs = ctx.dataset_specs();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name, "openai-s");
+        assert_eq!(specs[0].dim, 1536);
+    }
+
+    #[test]
+    fn dataset_cache_returns_same_data() {
+        let mut ctx = BenchContext::new(0.001);
+        let spec = ctx.dataset_specs().remove(0);
+        let a_len = ctx.dataset(&spec).base.len();
+        let b_len = ctx.dataset(&spec).base.len();
+        assert_eq!(a_len, b_len);
+    }
+
+    #[test]
+    fn hnsw_setups_share_one_index_build() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        let spec = ctx.dataset_specs().remove(0);
+        ctx.setup(&spec, SetupKind::MilvusHnsw).unwrap();
+        ctx.setup(&spec, SetupKind::QdrantHnsw).unwrap();
+        let a = Arc::as_ptr(&ctx.setups[&(spec.name.clone(), SetupKind::MilvusHnsw)].index);
+        let b = Arc::as_ptr(&ctx.setups[&(spec.name.clone(), SetupKind::QdrantHnsw)].index);
+        assert_eq!(a, b, "HNSW setups must share the same build");
+    }
+
+    #[test]
+    fn run_cache_is_deterministic() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.2e6;
+        let spec = ctx.dataset_specs().remove(0);
+        let a = ctx.run_tuned(&spec, SetupKind::MilvusIvf, 4).unwrap().unwrap();
+        let b = ctx.run_tuned(&spec, SetupKind::MilvusIvf, 4).unwrap().unwrap();
+        assert_eq!(a.qps, b.qps);
+    }
+}

@@ -1,0 +1,140 @@
+//! Extension experiment: graph-based vs. cluster-based storage indexes.
+//!
+//! The paper's §II-B lays out the storage-index dilemma — graph indexes
+//! (DiskANN) issue many *dependent* 4 KiB reads; cluster indexes (SPANN)
+//! issue a few *large* sequential reads but replicate border vectors up to
+//! 8× on the device — and cites a companion study ([30]) that measures it.
+//! This experiment quantifies the dilemma on equal footing: both indexes are
+//! tuned to recall@10 ≥ 0.9 on the same dataset, then compared on I/O shape,
+//! latency, throughput, and space.
+
+use crate::context::{BenchContext, K, RECALL_TARGET};
+use crate::report::{num, Table};
+use sann_core::{Metric, Result};
+use sann_index::{SearchParams, SpannConfig, SpannIndex, VectorIndex};
+use sann_vdb::SetupKind;
+
+/// Runs the DiskANN-vs-SPANN comparison on each dataset's small variant.
+///
+/// # Errors
+///
+/// Propagates build/search errors.
+pub fn run(ctx: &mut BenchContext) -> Result<String> {
+    let mut table = Table::new([
+        "dataset",
+        "index",
+        "recall@10",
+        "reads/query",
+        "mean_req_KiB",
+        "hops",
+        "qps_c64",
+        "p99_us_c64",
+        "space_amp",
+    ]);
+    for spec in ctx.dataset_specs().into_iter().filter(|s| s.name.ends_with("-s")) {
+        // DiskANN side: reuse the tuned setup.
+        let diskann_plans = ctx.plans(&spec, SetupKind::MilvusDiskann)?;
+        let (data, prepared) = ctx.dataset_and_setup(&spec, SetupKind::MilvusDiskann)?;
+        let d_recall = prepared.recall;
+        let d_metrics_input: Vec<(u64, u64, u64)> = data
+            .queries
+            .iter()
+            .take(64)
+            .map(|q| {
+                let out = prepared
+                    .index
+                    .search(q, K, &prepared.setup.params.search_params())
+                    .expect("diskann search");
+                (out.trace.io_count(), out.trace.read_bytes(), out.trace.hops())
+            })
+            .collect();
+        let d_raw = (data.base.len() * data.base.row_bytes()) as u64;
+        let d_space = prepared.index.storage_bytes() as f64 / d_raw as f64;
+
+        // SPANN side: build + tune nprobe on the same data.
+        eprintln!("[prep] building spann index on {}", spec.name);
+        let spann = SpannIndex::build(&data.base, Metric::L2, SpannConfig::default())?;
+        let mut nprobe = 4usize;
+        let mut s_recall = 0.0;
+        while nprobe <= 128 {
+            let params = SearchParams::default().with_nprobe(nprobe);
+            let ids = sann_index::search_ids(&spann, &data.tune_queries, K, &params)?;
+            s_recall = data.tune_truth.mean_recall(&ids);
+            if s_recall >= RECALL_TARGET {
+                break;
+            }
+            nprobe *= 2;
+        }
+        let s_params = SearchParams::default().with_nprobe(nprobe);
+        let s_metrics_input: Vec<(u64, u64, u64)> = data
+            .queries
+            .iter()
+            .take(64)
+            .map(|q| {
+                let out = spann.search(q, K, &s_params).expect("spann search");
+                (out.trace.io_count(), out.trace.read_bytes(), out.trace.hops())
+            })
+            .collect();
+        let s_space = spann.storage_bytes() as f64 / d_raw as f64;
+
+        // Engine runs at 64 clients: DiskANN cached; SPANN compiled with the
+        // same Milvus profile for an apples-to-apples run.
+        let d_run = ctx
+            .run(SetupKind::MilvusDiskann, &diskann_plans, 64)
+            .expect("no client cap");
+        let builder = ctx.plan_builder_for(&spec, SetupKind::MilvusDiskann);
+        let (data, _) = ctx.dataset_and_setup(&spec, SetupKind::MilvusDiskann)?;
+        let mut s_traces = Vec::with_capacity(data.queries.len());
+        for q in data.queries.iter() {
+            s_traces.push(spann.search(q, K, &s_params)?.trace);
+        }
+        let s_plans = builder.build_all(&s_traces);
+        let s_run = ctx.run(SetupKind::MilvusDiskann, &s_plans, 64).expect("no client cap");
+
+        for (name, recall, inputs, run, space) in [
+            ("diskann", d_recall, &d_metrics_input, &d_run, d_space),
+            ("spann", s_recall, &s_metrics_input, &s_run, s_space),
+        ] {
+            let n = inputs.len().max(1) as f64;
+            let ios: u64 = inputs.iter().map(|x| x.0).sum();
+            let bytes: u64 = inputs.iter().map(|x| x.1).sum();
+            let hops: u64 = inputs.iter().map(|x| x.2).sum();
+            table.row([
+                spec.name.clone(),
+                name.to_owned(),
+                format!("{recall:.3}"),
+                num(ios as f64 / n),
+                num(bytes as f64 / ios.max(1) as f64 / 1024.0),
+                num(hops as f64 / n),
+                num(run.qps),
+                num(run.p99_latency_us),
+                format!("{space:.2}x"),
+            ]);
+        }
+    }
+    ctx.write_csv("ext_spann.csv", &table.to_csv())?;
+    let mut out = String::from(
+        "Extension: graph-based (DiskANN) vs cluster-based (SPANN) storage \
+         indexes at equal recall\n(SII-B's dilemma: request size vs space \
+         amplification vs dependency chains)\n",
+    );
+    out.push_str(&table.to_text());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spann_vs_diskann_io_shapes_differ() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.3e6;
+        ctx.results_dir = std::env::temp_dir().join("sann-extspann-test");
+        let text = run(&mut ctx).unwrap();
+        assert!(text.contains("spann"));
+        assert!(text.contains("diskann"));
+        std::fs::remove_dir_all(&ctx.results_dir).ok();
+    }
+}

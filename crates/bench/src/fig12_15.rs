@@ -1,0 +1,97 @@
+//! Figures 12–15: the effect of DiskANN's `beam_width` on throughput, P99
+//! latency, and I/O traffic (§VI-B).
+//!
+//! Following the paper's methodology, `search_list` is pinned to 100 so the
+//! candidate list never starves the beam, and `beam_width` sweeps the
+//! x-axis. The paper observes *fluctuation without a clear trend* (O-22) on
+//! Milvus because its BeamWidthRatio couples the knob to core count; our
+//! simulation exposes the underlying trade cleanly (fewer, wider beams →
+//! fewer round trips), so expect a mild monotone trend here instead — noted
+//! in EXPERIMENTS.md.
+
+use crate::context::BenchContext;
+use crate::fig7_11::sweep_diskann;
+use crate::report::{num, Table};
+use sann_core::Result;
+
+/// The `beam_width` ladder of the paper's Fig. 12–15 x-axis.
+pub const BEAM_WIDTH_LADDER: &[usize] = &[1, 2, 4, 8, 16];
+
+/// `search_list` used throughout the beam-width sweep (paper: 100).
+pub const SEARCH_LIST: usize = 100;
+
+/// Renders Figs. 12–15 from one sweep over all datasets.
+///
+/// # Errors
+///
+/// Propagates build/search errors.
+pub fn run(ctx: &mut BenchContext) -> Result<String> {
+    let mut qps_t = Table::new(["dataset", "beam_width", "qps_c1", "qps_c256"]);
+    let mut lat_t = Table::new(["dataset", "beam_width", "p99_us_c1"]);
+    let mut bw_t = Table::new(["dataset", "beam_width", "MiB/s_c1", "MiB/s_c256"]);
+    let mut pq_t =
+        Table::new(["dataset", "beam_width", "per_query_MiB/s_c1", "per_query_MiB/s_c256"]);
+
+    for spec in ctx.dataset_specs() {
+        let values: Vec<(usize, usize)> =
+            BEAM_WIDTH_LADDER.iter().map(|&w| (SEARCH_LIST, w)).collect();
+        let points = sweep_diskann(ctx, &spec, &values)?;
+        for p in &points {
+            let w = p.beam_width.to_string();
+            qps_t.row([spec.name.clone(), w.clone(), num(p.c1.qps), num(p.c256.qps)]);
+            lat_t.row([spec.name.clone(), w.clone(), num(p.c1.p99_latency_us)]);
+            bw_t.row([
+                spec.name.clone(),
+                w.clone(),
+                num(p.c1.mean_bandwidth_mib),
+                num(p.c256.mean_bandwidth_mib),
+            ]);
+            pq_t.row([
+                spec.name.clone(),
+                w,
+                format!("{:.3}", p.c1.per_query_bandwidth_mib()),
+                format!("{:.3}", p.c256.per_query_bandwidth_mib()),
+            ]);
+        }
+    }
+    ctx.write_csv("fig12.csv", &qps_t.to_csv())?;
+    ctx.write_csv("fig13.csv", &lat_t.to_csv())?;
+    ctx.write_csv("fig14.csv", &bw_t.to_csv())?;
+    ctx.write_csv("fig15.csv", &pq_t.to_csv())?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 12: milvus-diskann throughput vs beam_width (search_list={SEARCH_LIST})\n"
+    ));
+    out.push_str(&qps_t.to_text());
+    out.push_str("\nFigure 13: milvus-diskann P99 latency vs beam_width (1 thread)\n");
+    out.push_str(&lat_t.to_text());
+    out.push_str("\nFigure 14: milvus-diskann total read bandwidth vs beam_width\n");
+    out.push_str(&bw_t.to_text());
+    out.push_str("\nFigure 15: milvus-diskann per-query read bandwidth vs beam_width\n");
+    out.push_str(&pq_t.to_text());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_beams_cut_single_thread_latency() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.5e6;
+        ctx.results_dir = std::env::temp_dir().join("sann-fig12-test");
+        let spec = ctx.dataset_specs().remove(0);
+        let points =
+            sweep_diskann(&mut ctx, &spec, &[(SEARCH_LIST, 1), (SEARCH_LIST, 8)]).unwrap();
+        assert!(
+            points[1].c1.p99_latency_us < points[0].c1.p99_latency_us,
+            "W=8 {} should beat W=1 {}",
+            points[1].c1.p99_latency_us,
+            points[0].c1.p99_latency_us
+        );
+        std::fs::remove_dir_all(&ctx.results_dir).ok();
+    }
+}

@@ -1,0 +1,134 @@
+//! Figures 7–11: the effect of DiskANN's `search_list` on throughput, P99
+//! latency, recall, and I/O traffic (§VI-A).
+
+use crate::context::{BenchContext, K};
+use crate::report::{num, Table};
+use sann_core::Result;
+use sann_datagen::DatasetSpec;
+use sann_engine::RunMetrics;
+use sann_vdb::SetupKind;
+
+/// The `search_list` ladder of the paper's Fig. 7–11 x-axis.
+pub const SEARCH_LIST_LADDER: &[usize] = &[10, 20, 40, 60, 80, 100];
+
+/// One measured point of the sweep.
+pub struct SweepPoint {
+    /// `search_list` at this point.
+    pub search_list: usize,
+    /// `beam_width` at this point.
+    pub beam_width: usize,
+    /// Recall@10 at this value.
+    pub recall: f64,
+    /// Metrics at concurrency 1.
+    pub c1: RunMetrics,
+    /// Metrics at concurrency 256.
+    pub c256: RunMetrics,
+}
+
+/// Runs Milvus-DiskANN on `spec` for each `(search_list, beam_width)` in
+/// `values`, at concurrency 1 and 256.
+///
+/// # Errors
+///
+/// Propagates build/search errors.
+pub fn sweep_diskann(
+    ctx: &mut BenchContext,
+    spec: &DatasetSpec,
+    values: &[(usize, usize)],
+) -> Result<Vec<SweepPoint>> {
+    let mut points = Vec::with_capacity(values.len());
+    for &(search_list, beam_width) in values {
+        let (recall, plans) = {
+            let builder = ctx.plan_builder_for(spec, SetupKind::MilvusDiskann);
+            let (data, prepared) = ctx.dataset_and_setup(spec, SetupKind::MilvusDiskann)?;
+            // Override the knobs on a copy; reuse the cached index.
+            let mut setup = prepared.setup;
+            setup.params.search_list = search_list;
+            setup.params.beam_width = beam_width;
+            let index = prepared.index.as_ref();
+            let recall = setup.recall(index, &data.queries, &data.truth, K)?;
+            let traces = setup.traces(index, &data.queries, K)?;
+            (recall, builder.build_all(&traces))
+        };
+        let c1 = ctx.run(SetupKind::MilvusDiskann, &plans, 1).expect("no client cap");
+        let c256 = ctx.run(SetupKind::MilvusDiskann, &plans, 256).expect("no client cap");
+        points.push(SweepPoint { search_list, beam_width, recall, c1, c256 });
+    }
+    Ok(points)
+}
+
+/// Renders Figs. 7–11 from one sweep over all datasets.
+///
+/// # Errors
+///
+/// Propagates build/search errors.
+pub fn run(ctx: &mut BenchContext) -> Result<String> {
+    let mut qps_t = Table::new(["dataset", "search_list", "qps_c1", "qps_c256"]);
+    let mut lat_t = Table::new(["dataset", "search_list", "p99_us_c1"]);
+    let mut rec_t = Table::new(["dataset", "search_list", "recall@10"]);
+    let mut bw_t = Table::new(["dataset", "search_list", "MiB/s_c1", "MiB/s_c256"]);
+    let mut pq_t = Table::new(["dataset", "search_list", "per_query_MiB/s_c1", "per_query_MiB/s_c256"]);
+
+    for spec in ctx.dataset_specs() {
+        let values: Vec<(usize, usize)> = SEARCH_LIST_LADDER.iter().map(|&l| (l, 4)).collect();
+        let points = sweep_diskann(ctx, &spec, &values)?;
+        for p in &points {
+            let l = p.search_list.to_string();
+            qps_t.row([spec.name.clone(), l.clone(), num(p.c1.qps), num(p.c256.qps)]);
+            lat_t.row([spec.name.clone(), l.clone(), num(p.c1.p99_latency_us)]);
+            rec_t.row([spec.name.clone(), l.clone(), format!("{:.3}", p.recall)]);
+            bw_t.row([
+                spec.name.clone(),
+                l.clone(),
+                num(p.c1.mean_bandwidth_mib),
+                num(p.c256.mean_bandwidth_mib),
+            ]);
+            pq_t.row([
+                spec.name.clone(),
+                l,
+                format!("{:.3}", p.c1.per_query_bandwidth_mib()),
+                format!("{:.3}", p.c256.per_query_bandwidth_mib()),
+            ]);
+        }
+    }
+    ctx.write_csv("fig7.csv", &qps_t.to_csv())?;
+    ctx.write_csv("fig8.csv", &lat_t.to_csv())?;
+    ctx.write_csv("fig9.csv", &rec_t.to_csv())?;
+    ctx.write_csv("fig10.csv", &bw_t.to_csv())?;
+    ctx.write_csv("fig11.csv", &pq_t.to_csv())?;
+
+    let mut out = String::new();
+    out.push_str("Figure 7: milvus-diskann throughput vs search_list\n");
+    out.push_str(&qps_t.to_text());
+    out.push_str("\nFigure 8: milvus-diskann P99 latency vs search_list (1 thread)\n");
+    out.push_str(&lat_t.to_text());
+    out.push_str("\nFigure 9: milvus-diskann recall@10 vs search_list\n");
+    out.push_str(&rec_t.to_text());
+    out.push_str("\nFigure 10: milvus-diskann total read bandwidth vs search_list\n");
+    out.push_str(&bw_t.to_text());
+    out.push_str("\nFigure 11: milvus-diskann per-query read bandwidth vs search_list\n");
+    out.push_str(&pq_t.to_text());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_monotone_io_growth() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.5e6;
+        ctx.results_dir = std::env::temp_dir().join("sann-fig7-test");
+        let spec = ctx.dataset_specs().remove(0);
+        let points = sweep_diskann(&mut ctx, &spec, &[(10, 4), (100, 4)]).unwrap();
+        assert!(points[1].recall >= points[0].recall - 0.01, "recall must not drop");
+        assert!(
+            points[1].c1.read_bytes_per_query > 1.5 * points[0].c1.read_bytes_per_query,
+            "larger search_list must read much more"
+        );
+        assert!(points[1].c1.qps < points[0].c1.qps, "and cost throughput");
+        std::fs::remove_dir_all(&ctx.results_dir).ok();
+    }
+}

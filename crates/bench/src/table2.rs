@@ -1,0 +1,92 @@
+//! Table II: build/search-time parameters and achieved recall@10 of every
+//! index on every dataset.
+
+use crate::context::{BenchContext, K};
+use crate::report::Table;
+use sann_core::Result;
+use sann_vdb::SetupKind;
+
+/// Reproduces Table II; returns the rendered table.
+///
+/// # Errors
+///
+/// Propagates build/search errors.
+pub fn run(ctx: &mut BenchContext) -> Result<String> {
+    let mut table = Table::new([
+        "dataset", "index", "nlist", "nprobe", "M", "efC", "efSearch", "search_list", "recall@10",
+    ]);
+    // The three Table II index families, represented by the setups that tune
+    // them on Milvus (plus LanceDB's separately tuned variants).
+    let kinds = [
+        SetupKind::MilvusIvf,
+        SetupKind::MilvusHnsw,
+        SetupKind::LancedbHnsw,
+        SetupKind::MilvusDiskann,
+        SetupKind::LancedbIvf,
+    ];
+    for spec in ctx.dataset_specs() {
+        for kind in kinds {
+            let prepared = ctx.setup(&spec, kind)?;
+            let p = &prepared.setup.params;
+            let (nlist, nprobe, m, efc, efs, sl) = match kind {
+                SetupKind::MilvusIvf | SetupKind::LancedbIvf => (
+                    p.nlist.to_string(),
+                    p.nprobe.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+                SetupKind::MilvusDiskann => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    p.search_list.to_string(),
+                ),
+                _ => (
+                    String::new(),
+                    String::new(),
+                    p.m.to_string(),
+                    p.ef_construction.to_string(),
+                    p.ef_search.to_string(),
+                    String::new(),
+                ),
+            };
+            table.row([
+                spec.name.clone(),
+                kind.name().to_owned(),
+                nlist,
+                nprobe,
+                m,
+                efc,
+                efs,
+                sl,
+                format!("{:.3}", prepared.recall),
+            ]);
+        }
+    }
+    ctx.write_csv("table2.csv", &table.to_csv())?;
+    let mut out = String::from("Table II: index parameters and achieved recall@10\n");
+    out.push_str(&format!("(k = {K}, target recall >= 0.9; LanceDB-IVF's nprobe ladder is capped as in the paper)\n"));
+    out.push_str(&table.to_text());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_table_has_all_rows() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.results_dir = std::env::temp_dir().join("sann-table2-test");
+        let text = run(&mut ctx).unwrap();
+        assert!(text.contains("milvus-ivf"));
+        assert!(text.contains("milvus-diskann"));
+        assert!(text.contains("lancedb-ivf"));
+        std::fs::remove_dir_all(&ctx.results_dir).ok();
+    }
+}

@@ -1,0 +1,233 @@
+//! Distance metrics and their kernels.
+//!
+//! All kernels operate on plain `&[f32]` slices and are written with 4-way
+//! manual unrolling so that the compiler auto-vectorizes them; this is the
+//! hot path of every index in the workspace.
+
+/// A vector distance metric.
+///
+/// All three metrics are expressed as *distances* (lower is closer) so that
+/// top-k collection logic is uniform:
+///
+/// * [`Metric::L2`] is the **squared** Euclidean distance (monotonic in the
+///   true Euclidean distance, cheaper to compute — the convention used by
+///   faiss and DiskANN),
+/// * [`Metric::InnerProduct`] is the negated dot product,
+/// * [`Metric::Cosine`] is `1 - cosine_similarity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Metric {
+    /// Squared Euclidean distance.
+    L2,
+    /// Negated inner product (maximum inner product search).
+    InnerProduct,
+    /// Cosine distance, `1 - cos(a, b)`.
+    Cosine,
+}
+
+impl Metric {
+    /// Computes the distance between two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the slices have different lengths.
+    #[inline]
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "distance between mismatched dims");
+        match self {
+            Metric::L2 => l2_squared(a, b),
+            Metric::InnerProduct => -dot(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+        }
+    }
+
+    /// A short lowercase name, as used in configuration files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::L2 => "l2",
+            Metric::InnerProduct => "ip",
+            Metric::Cosine => "cosine",
+        }
+    }
+
+    /// Parses a metric from its [`name`](Metric::name).
+    pub fn parse(name: &str) -> Option<Metric> {
+        match name {
+            "l2" => Some(Metric::L2),
+            "ip" => Some(Metric::InnerProduct),
+            "cosine" => Some(Metric::Cosine),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Squared Euclidean distance between `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// let d = sann_core::distance::l2_squared(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 25.0);
+/// ```
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..n {
+        let d = a[j] - b[j];
+        tail += d * d;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Dot product of `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// let d = sann_core::distance::dot(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(d, 11.0);
+/// ```
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..n {
+        tail += a[j] * b[j];
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Euclidean norm of `v`.
+#[inline]
+pub fn norm(v: &[f32]) -> f32 {
+    dot(v, v).sqrt()
+}
+
+/// Cosine distance `1 - cos(a, b)`.
+///
+/// Returns `1.0` (orthogonal) when either vector has zero norm, so the
+/// function is total.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+/// Normalizes `v` to unit length in place. Zero vectors are left unchanged.
+pub fn normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_l2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn l2_matches_naive_for_odd_lengths() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 768] {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|i| (n - i) as f32 * 0.25).collect();
+            let fast = l2_squared(&a, &b);
+            let naive = naive_l2(&a, &b);
+            assert!((fast - naive).abs() < 1e-3 * naive.max(1.0), "n={n}: {fast} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive_for_odd_lengths() {
+        for n in [1usize, 3, 6, 9, 1536] {
+            let a: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i % 5) as f32 - 2.0).collect();
+            let fast = dot(&a, &b);
+            let naive = naive_dot(&a, &b);
+            assert!((fast - naive).abs() < 1e-3 * naive.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn metric_l2_is_squared() {
+        assert_eq!(Metric::L2.distance(&[0.0], &[2.0]), 4.0);
+    }
+
+    #[test]
+    fn metric_ip_is_negated() {
+        assert_eq!(Metric::InnerProduct.distance(&[1.0, 1.0], &[2.0, 3.0]), -5.0);
+    }
+
+    #[test]
+    fn cosine_identity_and_orthogonal() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((Metric::Cosine.distance(&a, &a)).abs() < 1e-6);
+        assert!((Metric::Cosine.distance(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_total() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn metric_name_round_trips() {
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert_eq!(Metric::parse("hamming"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! Core primitives for storage-based approximate nearest neighbor search.
+//!
+//! This crate provides the foundation every other `sann` crate builds on:
+//!
+//! * [`Dataset`] — a dense, row-major matrix of `f32` vectors,
+//! * [`Metric`] and the distance kernels in [`distance`],
+//! * [`Neighbor`] and the [`TopK`] collector used by all index searches,
+//! * [`recall::recall_at_k`] — the accuracy metric reported by the paper,
+//! * [`stats`] — percentile/mean helpers shared by the benchmark harness,
+//! * [`rng::SplitMix64`] — a tiny deterministic RNG so experiments are
+//!   reproducible across crates without threading `rand` generics everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use sann_core::{Dataset, Metric, TopK};
+//!
+//! let data = Dataset::from_rows(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+//! let query = [0.1f32, 0.0];
+//! let mut topk = TopK::new(2);
+//! for (id, row) in data.iter().enumerate() {
+//!     topk.push(id as u32, Metric::L2.distance(&query, row));
+//! }
+//! let hits = topk.into_sorted_vec();
+//! assert_eq!(hits[0].id, 0);
+//! assert_eq!(hits[1].id, 1);
+//! ```
+
+pub mod distance;
+pub mod error;
+pub mod recall;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+pub mod vector;
+
+pub use distance::Metric;
+pub use error::{Error, Result};
+pub use topk::{Neighbor, TopK};
+pub use vector::Dataset;

@@ -1,0 +1,143 @@
+//! Exact k-nearest-neighbor ground truth via parallel brute force.
+
+use sann_core::{Dataset, Metric, TopK};
+
+/// Exact nearest neighbors for a query set, used to score recall@k.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    k: usize,
+    ids: Vec<Vec<u32>>,
+}
+
+impl GroundTruth {
+    /// Computes exact top-`k` neighbors of every query by brute force,
+    /// parallelized across all available cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` and `queries` disagree on dimensionality or `k == 0`.
+    pub fn bruteforce(base: &Dataset, queries: &Dataset, metric: Metric, k: usize) -> GroundTruth {
+        assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let n_queries = queries.len();
+        let mut ids = vec![Vec::new(); n_queries];
+
+        // Chunk query ids across worker threads; each worker scans the whole
+        // base set for its chunk of queries.
+        let chunk = n_queries.div_ceil(threads.max(1));
+        crossbeam::thread::scope(|scope| {
+            for (t, out_chunk) in ids.chunks_mut(chunk.max(1)).enumerate() {
+                let base = &base;
+                let queries = &queries;
+                scope.spawn(move |_| {
+                    for (i, out) in out_chunk.iter_mut().enumerate() {
+                        let q = queries.row(t * chunk + i);
+                        let mut topk = TopK::new(k);
+                        for (id, row) in base.iter().enumerate() {
+                            topk.push(id as u32, metric.distance(q, row));
+                        }
+                        *out = topk.into_sorted_vec().into_iter().map(|n| n.id).collect();
+                    }
+                });
+            }
+        })
+        .expect("ground-truth worker panicked");
+
+        GroundTruth { k, ids }
+    }
+
+    /// The `k` this ground truth was computed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the ground truth covers no queries.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True neighbor ids of query `q`, closest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn neighbors(&self, q: usize) -> &[u32] {
+        &self.ids[q]
+    }
+
+    /// Mean recall@k of a batch of result lists (one per query, in query
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results.len() != self.len()`.
+    pub fn mean_recall(&self, results: &[Vec<u32>]) -> f64 {
+        sann_core::recall::mean_recall_at_k(&self.ids, results, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_core::rng::SplitMix64;
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.next_f32()).collect();
+        Dataset::from_flat(data, dim).unwrap()
+    }
+
+    fn naive_truth(base: &Dataset, q: &[f32], k: usize) -> Vec<u32> {
+        let mut dists: Vec<(f32, u32)> = base
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (Metric::L2.distance(q, row), i as u32))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        dists.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn matches_naive_single_threaded_scan() {
+        let base = random_dataset(300, 16, 1);
+        let queries = random_dataset(17, 16, 2);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 5);
+        assert_eq!(gt.len(), 17);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(gt.neighbors(i), naive_truth(&base, q, 5).as_slice(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn perfect_results_have_recall_one() {
+        let base = random_dataset(100, 8, 3);
+        let queries = random_dataset(5, 8, 4);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 3);
+        let results: Vec<Vec<u32>> = (0..5).map(|i| gt.neighbors(i).to_vec()).collect();
+        assert_eq!(gt.mean_recall(&results), 1.0);
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let base = random_dataset(50, 8, 5);
+        // Use base vectors themselves as queries.
+        let gt = GroundTruth::bruteforce(&base, &base, Metric::L2, 1);
+        for i in 0..50 {
+            assert_eq!(gt.neighbors(i)[0], i as u32);
+        }
+    }
+
+    #[test]
+    fn handles_k_larger_than_base() {
+        let base = random_dataset(3, 4, 6);
+        let queries = random_dataset(2, 4, 7);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
+        assert_eq!(gt.neighbors(0).len(), 3);
+    }
+}

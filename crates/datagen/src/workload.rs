@@ -1,0 +1,73 @@
+//! Search workload specification, mirroring VectorDBBench's methodology.
+//!
+//! The paper's methodology (§III-B): each experiment runs for 30 seconds with
+//! 1,000 query vectors; when the queries are exhausted the stream restarts
+//! from the first query. Concurrency is closed-loop — each of N query
+//! threads keeps exactly one query in flight.
+
+/// A closed-loop vector-search workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of closed-loop client threads (each with one in-flight query).
+    pub concurrency: usize,
+    /// Experiment duration in simulated microseconds (paper: 30 s).
+    pub duration_us: u64,
+    /// Number of distinct query vectors; the stream wraps around.
+    pub n_queries: usize,
+    /// Results requested per query (`k` in recall@k; paper: 10).
+    pub k: usize,
+}
+
+impl WorkloadSpec {
+    /// The paper's default: 30-second run, 1,000 queries, k=10.
+    pub fn paper_default(concurrency: usize) -> Self {
+        WorkloadSpec { concurrency, duration_us: 30_000_000, n_queries: 1_000, k: 10 }
+    }
+
+    /// A shortened run for unit tests and smoke benchmarks.
+    pub fn quick(concurrency: usize) -> Self {
+        WorkloadSpec { concurrency, duration_us: 2_000_000, n_queries: 200, k: 10 }
+    }
+
+    /// Returns the query index the `i`-th issued query uses (wrapping).
+    pub fn query_index(&self, i: u64) -> usize {
+        (i % self.n_queries as u64) as usize
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.duration_us as f64 / 1e6
+    }
+}
+
+/// The concurrency ladder used in Figs. 2–4 (1..256 query threads).
+pub const CONCURRENCY_LADDER: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_methodology() {
+        let w = WorkloadSpec::paper_default(8);
+        assert_eq!(w.duration_secs(), 30.0);
+        assert_eq!(w.n_queries, 1_000);
+        assert_eq!(w.k, 10);
+        assert_eq!(w.concurrency, 8);
+    }
+
+    #[test]
+    fn query_stream_wraps() {
+        let w = WorkloadSpec::paper_default(1);
+        assert_eq!(w.query_index(0), 0);
+        assert_eq!(w.query_index(999), 999);
+        assert_eq!(w.query_index(1_000), 0);
+        assert_eq!(w.query_index(2_500), 500);
+    }
+
+    #[test]
+    fn ladder_spans_paper_range() {
+        assert_eq!(*CONCURRENCY_LADDER.first().unwrap(), 1);
+        assert_eq!(*CONCURRENCY_LADDER.last().unwrap(), 256);
+    }
+}

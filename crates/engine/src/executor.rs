@@ -1,0 +1,636 @@
+//! The discrete-event executor.
+
+use crate::metrics::RunMetrics;
+use crate::plan::{QueryPlan, Segment};
+use sann_ssdsim::{DeviceSim, IoTracer, PageCache, SsdModel};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+const NS_PER_US: f64 = 1_000.0;
+
+/// Configuration of one simulated measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// CPU cores of the simulated host (paper testbed: 20).
+    pub cores: usize,
+    /// Closed-loop client threads, each with one in-flight query.
+    pub concurrency: usize,
+    /// Simulated run duration, µs (paper: 30 s).
+    pub duration_us: f64,
+    /// Database-internal admission cap on concurrently executing queries
+    /// (0 = unlimited). Models scheduler limits such as Milvus'
+    /// `maxReadConcurrentRatio`.
+    pub max_concurrent: usize,
+    /// The SSD model backing storage-based plans.
+    pub ssd: SsdModel,
+    /// OS page-cache capacity in bytes (0 = direct I/O, the DiskANN mode).
+    pub cache_bytes: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cores: 20,
+            concurrency: 1,
+            duration_us: 30e6,
+            max_concurrent: 0,
+            ssd: SsdModel::samsung_990_pro(),
+            cache_bytes: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A CPU subtask of the query finished (frees its core).
+    SubtaskDone { query: usize },
+    /// One request of the query's current beam completed.
+    IoDone { query: usize },
+    /// A core-free delay elapsed.
+    DelayDone { query: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Running CPU subtasks of the current segment.
+    Cpu,
+    /// Running the submission subtask of an I/O segment.
+    IoSubmit,
+    /// Blocked waiting for the current beam.
+    IoWait,
+}
+
+#[derive(Debug)]
+struct ActiveQuery {
+    plan: usize,
+    seg: usize,
+    phase: Phase,
+    started_ns: u64,
+    remaining_subtasks: usize,
+    pending_ios: usize,
+    client: usize,
+    live: bool,
+}
+
+/// Runs query plans to produce [`RunMetrics`].
+///
+/// The executor is deterministic: identical inputs produce identical
+/// metrics. See the crate docs for the execution semantics.
+#[derive(Debug)]
+pub struct Executor {
+    config: RunConfig,
+}
+
+impl Executor {
+    /// Creates an executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` or `concurrency` is zero, or `duration_us` is not
+    /// positive.
+    pub fn new(config: RunConfig) -> Executor {
+        assert!(config.cores > 0, "cores must be positive");
+        assert!(config.concurrency > 0, "concurrency must be positive");
+        assert!(config.duration_us > 0.0, "duration must be positive");
+        Executor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Replays `plans` under closed-loop load. Client `i`'s `j`-th query
+    /// uses plan `(i + j * concurrency) % plans.len()`, so all plans are
+    /// exercised round-robin as in VectorDBBench's repeating query stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty.
+    pub fn run(&self, plans: &[QueryPlan]) -> RunMetrics {
+        assert!(!plans.is_empty(), "plans must be non-empty");
+        Simulation::new(&self.config, plans).run()
+    }
+}
+
+struct Simulation<'a> {
+    config: &'a RunConfig,
+    plans: &'a [QueryPlan],
+    duration_ns: u64,
+    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    event_payload: Vec<EventKind>,
+    seq: u64,
+    free_cores: usize,
+    ready: VecDeque<(usize, u64)>,
+    queries: Vec<ActiveQuery>,
+    free_slots: Vec<usize>,
+    active_count: usize,
+    admission: VecDeque<usize>,
+    issued_per_client: Vec<u64>,
+    issue_counter: u64,
+    device: DeviceSim,
+    cache: PageCache,
+    tracer: IoTracer,
+    busy_ns: u64,
+    latencies_us: Vec<f64>,
+    completed_in_window: u64,
+    query_read_bytes: u64,
+    query_io_count: u64,
+    clock_ns: u64,
+}
+
+impl<'a> Simulation<'a> {
+    fn new(config: &'a RunConfig, plans: &'a [QueryPlan]) -> Simulation<'a> {
+        Simulation {
+            config,
+            plans,
+            duration_ns: (config.duration_us * NS_PER_US) as u64,
+            events: BinaryHeap::new(),
+            event_payload: Vec::new(),
+            seq: 0,
+            free_cores: config.cores,
+            ready: VecDeque::new(),
+            queries: Vec::new(),
+            free_slots: Vec::new(),
+            active_count: 0,
+            admission: VecDeque::new(),
+            issued_per_client: vec![0; config.concurrency],
+            issue_counter: 0,
+            device: DeviceSim::new(config.ssd),
+            cache: PageCache::new(config.cache_bytes),
+            tracer: IoTracer::new(),
+            busy_ns: 0,
+            latencies_us: Vec::new(),
+            completed_in_window: 0,
+            query_read_bytes: 0,
+            query_io_count: 0,
+            clock_ns: 0,
+        }
+    }
+
+    fn push_event(&mut self, at_ns: u64, kind: EventKind) {
+        let idx = self.event_payload.len();
+        self.event_payload.push(kind);
+        self.events.push(Reverse((at_ns, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn run(mut self) -> RunMetrics {
+        for client in 0..self.config.concurrency {
+            self.issue_query(client, 0);
+        }
+        self.dispatch(0);
+
+        while let Some(Reverse((t, _, idx))) = self.events.pop() {
+            self.clock_ns = t;
+            match self.event_payload[idx] {
+                EventKind::SubtaskDone { query } => {
+                    self.free_cores += 1;
+                    self.on_subtask_done(query, t);
+                }
+                EventKind::IoDone { query } => {
+                    self.on_io_done(query, t);
+                }
+                EventKind::DelayDone { query } => {
+                    self.queries[query].seg += 1;
+                    self.advance(query, t);
+                }
+            }
+            self.dispatch(t);
+        }
+
+        let duration_s = self.config.duration_us / 1e6;
+        RunMetrics::assemble(
+            self.completed_in_window as f64 / duration_s,
+            self.latencies_us,
+            self.busy_ns as f64 / (self.duration_ns as f64 * self.config.cores as f64),
+            self.tracer,
+            self.config.duration_us,
+            self.completed_in_window,
+            self.query_read_bytes,
+            self.query_io_count,
+        )
+    }
+
+    /// A closed-loop client issues its next query at time `t` (no new issues
+    /// after the measurement window closes).
+    fn issue_query(&mut self, client: usize, t: u64) {
+        if t >= self.duration_ns {
+            return;
+        }
+        self.issued_per_client[client] += 1;
+        if self.config.max_concurrent > 0 && self.active_count >= self.config.max_concurrent {
+            self.admission.push_back(client);
+            return;
+        }
+        self.activate(client, t);
+    }
+
+    fn activate(&mut self, client: usize, t: u64) {
+        let plan = (self.issue_counter as usize) % self.plans.len();
+        self.issue_counter += 1;
+        let q = ActiveQuery {
+            plan,
+            seg: 0,
+            phase: Phase::Cpu,
+            started_ns: t,
+            remaining_subtasks: 0,
+            pending_ios: 0,
+            client,
+            live: true,
+        };
+        let slot = if let Some(slot) = self.free_slots.pop() {
+            self.queries[slot] = q;
+            slot
+        } else {
+            self.queries.push(q);
+            self.queries.len() - 1
+        };
+        self.active_count += 1;
+        self.advance(slot, t);
+    }
+
+    /// Moves the query to its next segment (current one already complete).
+    fn advance(&mut self, query: usize, t: u64) {
+        loop {
+            let (plan_idx, seg_idx) = {
+                let q = &self.queries[query];
+                (q.plan, q.seg)
+            };
+            match self.plans[plan_idx].segments().get(seg_idx) {
+                None => {
+                    self.complete(query, t);
+                    return;
+                }
+                Some(Segment::Cpu { total_us, fanout }) => {
+                    if *total_us <= 0.0 {
+                        self.queries[query].seg += 1;
+                        continue;
+                    }
+                    let fanout = (*fanout).max(1);
+                    let sub_ns = ((total_us / fanout as f64) * NS_PER_US).ceil() as u64;
+                    {
+                        let q = &mut self.queries[query];
+                        q.phase = Phase::Cpu;
+                        q.remaining_subtasks = fanout;
+                    }
+                    for _ in 0..fanout {
+                        self.ready.push_back((query, sub_ns));
+                    }
+                    return;
+                }
+                Some(Segment::Delay { us }) => {
+                    if *us <= 0.0 {
+                        self.queries[query].seg += 1;
+                        continue;
+                    }
+                    let at = t + (us * NS_PER_US) as u64;
+                    self.push_event(at, EventKind::DelayDone { query });
+                    return;
+                }
+                Some(Segment::Io { reqs }) | Some(Segment::Write { reqs }) => {
+                    if reqs.is_empty() {
+                        self.queries[query].seg += 1;
+                        continue;
+                    }
+                    // Submission runs on a core first; the requests are
+                    // issued when it completes.
+                    let submit_ns =
+                        (reqs.len() as f64 * self.config.ssd.submit_cpu_us * NS_PER_US) as u64;
+                    {
+                        let q = &mut self.queries[query];
+                        q.phase = Phase::IoSubmit;
+                        q.remaining_subtasks = 1;
+                    }
+                    self.ready.push_back((query, submit_ns.max(1)));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_subtask_done(&mut self, query: usize, t: u64) {
+        let phase = self.queries[query].phase;
+        match phase {
+            Phase::Cpu => {
+                let q = &mut self.queries[query];
+                q.remaining_subtasks -= 1;
+                if q.remaining_subtasks == 0 {
+                    q.seg += 1;
+                    self.advance(query, t);
+                }
+            }
+            Phase::IoSubmit => {
+                // Issue the beam now.
+                let (plan_idx, seg_idx) = {
+                    let q = &self.queries[query];
+                    (q.plan, q.seg)
+                };
+                let (reqs, is_write) = match &self.plans[plan_idx].segments()[seg_idx] {
+                    Segment::Io { reqs } => (reqs.clone(), false),
+                    Segment::Write { reqs } => (reqs.clone(), true),
+                    _ => unreachable!("IoSubmit phase on non-io segment"),
+                };
+                let mut pending = 0usize;
+                for r in &reqs {
+                    let t_us = t as f64 / NS_PER_US;
+                    if is_write {
+                        // Writes bypass the page cache (write-through /
+                        // direct I/O semantics).
+                        self.tracer.record_write(t_us, r.offset, r.len);
+                        let done_us = self.device.schedule_write(t_us, r.len);
+                        self.push_event(
+                            (done_us * NS_PER_US) as u64,
+                            EventKind::IoDone { query },
+                        );
+                        pending += 1;
+                        continue;
+                    }
+                    self.query_io_count += 1;
+                    self.query_read_bytes += r.len as u64;
+                    let missed = self.cache.access(r.offset, r.len);
+                    if missed == 0 {
+                        continue; // page-cache hit: no device traffic
+                    }
+                    self.tracer.record_read(t_us, r.offset, r.len);
+                    let done_us = self.device.schedule(t_us, r.len);
+                    self.push_event(
+                        (done_us * NS_PER_US) as u64,
+                        EventKind::IoDone { query },
+                    );
+                    pending += 1;
+                }
+                let q = &mut self.queries[query];
+                q.phase = Phase::IoWait;
+                q.pending_ios = pending;
+                if pending == 0 {
+                    q.seg += 1;
+                    self.advance(query, t);
+                }
+            }
+            Phase::IoWait => unreachable!("subtask completion while waiting on io"),
+        }
+    }
+
+    fn on_io_done(&mut self, query: usize, t: u64) {
+        let q = &mut self.queries[query];
+        debug_assert!(q.live && q.phase == Phase::IoWait);
+        q.pending_ios -= 1;
+        if q.pending_ios == 0 {
+            q.seg += 1;
+            self.advance(query, t);
+        }
+    }
+
+    fn complete(&mut self, query: usize, t: u64) {
+        let (client, started) = {
+            let q = &mut self.queries[query];
+            q.live = false;
+            (q.client, q.started_ns)
+        };
+        self.free_slots.push(query);
+        self.active_count -= 1;
+        self.latencies_us.push((t - started) as f64 / NS_PER_US);
+        if t <= self.duration_ns {
+            self.completed_in_window += 1;
+        }
+        // Admit a waiting query before the client re-issues (FIFO fairness).
+        if let Some(waiting) = self.admission.pop_front() {
+            self.activate(waiting, t);
+        }
+        self.issue_query(client, t);
+    }
+
+    fn dispatch(&mut self, t: u64) {
+        while self.free_cores > 0 {
+            let Some((query, dur_ns)) = self.ready.pop_front() else {
+                return;
+            };
+            self.free_cores -= 1;
+            self.busy_ns += dur_ns;
+            self.push_event(t + dur_ns, EventKind::SubtaskDone { query });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_index::IoReq;
+
+    fn cpu_plan(us: f64) -> QueryPlan {
+        QueryPlan::new(vec![Segment::cpu(us)])
+    }
+
+    #[test]
+    fn single_client_cpu_bound_qps() {
+        let config =
+            RunConfig { cores: 4, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let m = Executor::new(config).run(&[cpu_plan(100.0)]);
+        assert!((m.qps - 10_000.0).abs() < 200.0, "qps {}", m.qps);
+        assert!((m.p99_latency_us - 100.0).abs() < 2.0);
+        // One core busy out of four.
+        assert!((m.cpu_utilization - 0.25).abs() < 0.02, "cpu {}", m.cpu_utilization);
+    }
+
+    #[test]
+    fn throughput_scales_until_cores_saturate() {
+        let mut last_qps = 0.0;
+        for conc in [1usize, 2, 4, 8] {
+            let config = RunConfig {
+                cores: 4,
+                concurrency: conc,
+                duration_us: 1e6,
+                ..RunConfig::default()
+            };
+            let m = Executor::new(config).run(&[cpu_plan(100.0)]);
+            if conc <= 4 {
+                assert!(
+                    (m.qps - conc as f64 * 10_000.0).abs() < 500.0,
+                    "conc {conc} qps {}",
+                    m.qps
+                );
+            } else {
+                // Saturated at 4 cores.
+                assert!((m.qps - 40_000.0).abs() < 1000.0, "conc {conc} qps {}", m.qps);
+                assert!(m.p99_latency_us > 150.0, "queueing must inflate latency");
+            }
+            assert!(m.qps >= last_qps - 500.0);
+            last_qps = m.qps;
+        }
+    }
+
+    #[test]
+    fn io_plan_latency_includes_device_time() {
+        let ssd = SsdModel::samsung_990_pro();
+        let plan = QueryPlan::new(vec![
+            Segment::cpu(10.0),
+            Segment::io(vec![IoReq::new(0, 4096)]),
+            Segment::cpu(10.0),
+        ]);
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 1e6,
+            ssd,
+            ..RunConfig::default()
+        };
+        let m = Executor::new(config).run(&[plan]);
+        let expect = 10.0 + ssd.submit_cpu_us + ssd.idle_latency_us(4096) + 10.0;
+        assert!(
+            (m.mean_latency_us - expect).abs() < 2.0,
+            "latency {} vs {}",
+            m.mean_latency_us,
+            expect
+        );
+        assert!(m.read_bytes_per_query > 4000.0);
+    }
+
+    #[test]
+    fn beam_reads_overlap_on_device() {
+        let ssd = SsdModel::samsung_990_pro();
+        let beam: Vec<IoReq> = (0..8).map(|i| IoReq::new(i * 4096, 4096)).collect();
+        let plan = QueryPlan::new(vec![Segment::io(beam)]);
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 1e6,
+            ssd,
+            ..RunConfig::default()
+        };
+        let m = Executor::new(config).run(&[plan]);
+        // 8 parallel reads should take ~1 media latency, not 8.
+        assert!(
+            m.mean_latency_us < 2.5 * ssd.base_latency_us,
+            "beam latency {}",
+            m.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn admission_cap_limits_throughput() {
+        let uncapped = RunConfig {
+            cores: 8,
+            concurrency: 8,
+            duration_us: 1e6,
+            ..RunConfig::default()
+        };
+        let capped = RunConfig { max_concurrent: 2, ..uncapped };
+        let plan = cpu_plan(100.0);
+        let m_un = Executor::new(uncapped).run(&[plan.clone()]);
+        let m_cap = Executor::new(capped).run(&[plan]);
+        assert!(
+            m_cap.qps < m_un.qps / 3.0,
+            "cap 2 of 8: {} vs {}",
+            m_cap.qps,
+            m_un.qps
+        );
+    }
+
+    #[test]
+    fn intra_query_parallelism_cuts_latency() {
+        let serial = QueryPlan::new(vec![Segment::cpu(800.0)]);
+        let fanned = QueryPlan::new(vec![Segment::cpu_parallel(800.0, 8)]);
+        let config =
+            RunConfig { cores: 8, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let m_serial = Executor::new(config).run(&[serial]);
+        let m_fan = Executor::new(config).run(&[fanned]);
+        assert!((m_serial.mean_latency_us - 800.0).abs() < 5.0);
+        assert!((m_fan.mean_latency_us - 100.0).abs() < 5.0);
+        assert!(m_fan.qps > 6.0 * m_serial.qps);
+    }
+
+    #[test]
+    fn page_cache_absorbs_repeated_reads() {
+        let plan = QueryPlan::new(vec![Segment::io(vec![IoReq::new(0, 4096)])]);
+        let cold = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 0.2e6,
+            cache_bytes: 0,
+            ..RunConfig::default()
+        };
+        let warm = RunConfig { cache_bytes: 1 << 20, ..cold };
+        let m_cold = Executor::new(cold).run(&[plan.clone()]);
+        let m_warm = Executor::new(warm).run(&[plan]);
+        assert!(m_warm.qps > 3.0 * m_cold.qps, "{} vs {}", m_warm.qps, m_cold.qps);
+        // The warm run hits cache after the first read: almost no device traffic.
+        assert!(m_warm.device_read_bytes < m_cold.device_read_bytes / 10);
+    }
+
+    #[test]
+    fn delay_adds_latency_not_cpu() {
+        let plan = QueryPlan::new(vec![Segment::delay(500.0), Segment::cpu(10.0)]);
+        let config =
+            RunConfig { cores: 2, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let m = Executor::new(config).run(&[plan]);
+        assert!((m.mean_latency_us - 510.0).abs() < 2.0, "latency {}", m.mean_latency_us);
+        assert!(m.cpu_utilization < 0.02, "delays must not burn CPU: {}", m.cpu_utilization);
+    }
+
+    #[test]
+    fn concurrent_writes_inflate_read_latency() {
+        let ssd = SsdModel::samsung_990_pro();
+        let read_plan = QueryPlan::new(vec![Segment::io(vec![IoReq::new(0, 4096)])]);
+        let write_plan = QueryPlan::new(vec![Segment::write(
+            (0..16).map(|i| IoReq::new((1 << 30) + i * 4096, 4096)).collect(),
+        )]);
+        let alone = RunConfig {
+            cores: 4,
+            concurrency: 8,
+            duration_us: 0.5e6,
+            ssd,
+            ..RunConfig::default()
+        };
+        let m_alone = Executor::new(alone).run(&[read_plan.clone()]);
+        // Same read clients, plus heavy writers sharing the device.
+        let mixed = RunConfig { concurrency: 72, ..alone };
+        let m_mixed =
+            Executor::new(mixed).run(&[&[read_plan], &vec![write_plan; 8][..]].concat());
+        assert!(m_mixed.io_stats.write_bytes > 0, "writers must write");
+        assert!(
+            m_mixed.p99_latency_us > m_alone.p99_latency_us,
+            "read-write interference must inflate tail latency: {} vs {}",
+            m_mixed.p99_latency_us,
+            m_alone.p99_latency_us
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let plan = QueryPlan::new(vec![
+            Segment::cpu(30.0),
+            Segment::io(vec![IoReq::new(0, 4096), IoReq::new(8192, 4096)]),
+            Segment::cpu(10.0),
+        ]);
+        let config = RunConfig {
+            cores: 4,
+            concurrency: 16,
+            duration_us: 0.5e6,
+            ..RunConfig::default()
+        };
+        let a = Executor::new(config).run(&[plan.clone()]);
+        let b = Executor::new(config).run(&[plan]);
+        assert_eq!(a.qps, b.qps);
+        assert_eq!(a.p99_latency_us, b.p99_latency_us);
+        assert_eq!(a.device_read_bytes, b.device_read_bytes);
+    }
+
+    #[test]
+    fn round_robin_covers_all_plans() {
+        let fast = cpu_plan(10.0);
+        let slow = cpu_plan(1000.0);
+        let config =
+            RunConfig { cores: 1, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let m = Executor::new(config).run(&[fast, slow]);
+        // Mean of alternating 10/1000 µs queries ≈ 505 µs.
+        assert!((m.mean_latency_us - 505.0).abs() < 20.0, "mean {}", m.mean_latency_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "plans must be non-empty")]
+    fn empty_plans_panic() {
+        let config = RunConfig::default();
+        Executor::new(config).run(&[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Metrics of one simulated run — the quantities the paper reports.
+
+use sann_core::stats;
+use sann_ssdsim::{IoStats, IoTracer};
+
+/// Results of one closed-loop measurement run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Queries per second completed within the measurement window.
+    pub qps: f64,
+    /// Mean query latency, µs.
+    pub mean_latency_us: f64,
+    /// Median query latency, µs.
+    pub p50_latency_us: f64,
+    /// P99 tail latency, µs (the paper's latency metric).
+    pub p99_latency_us: f64,
+    /// Fraction of total core time spent busy (0..1); the paper's Fig. 4
+    /// plots this as "global CPU usage".
+    pub cpu_utilization: f64,
+    /// Queries completed within the window.
+    pub completed: u64,
+    /// Mean bytes read per query (logical, before page cache).
+    pub read_bytes_per_query: f64,
+    /// Mean I/O requests per query (logical, before page cache).
+    pub ios_per_query: f64,
+    /// Bytes actually transferred from the device (after page cache).
+    pub device_read_bytes: u64,
+    /// Mean device read bandwidth over the window, MiB/s.
+    pub mean_bandwidth_mib: f64,
+    /// Per-second device read bandwidth, MiB/s (Fig. 5's series).
+    pub bandwidth_timeline_mib: Vec<f64>,
+    /// Request-size histogram and counts at the block layer.
+    pub io_stats: IoStats,
+}
+
+impl RunMetrics {
+    /// Internal constructor used by the executor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        qps: f64,
+        latencies_us: Vec<f64>,
+        cpu_utilization: f64,
+        tracer: IoTracer,
+        duration_us: f64,
+        completed: u64,
+        logical_read_bytes: u64,
+        logical_io_count: u64,
+    ) -> RunMetrics {
+        let io_stats = tracer.stats();
+        let issued = latencies_us.len().max(1) as f64;
+        RunMetrics {
+            qps,
+            mean_latency_us: stats::mean(&latencies_us),
+            p50_latency_us: stats::percentile(&latencies_us, 50.0),
+            p99_latency_us: stats::percentile(&latencies_us, 99.0),
+            cpu_utilization: cpu_utilization.min(1.0),
+            completed,
+            read_bytes_per_query: logical_read_bytes as f64 / issued,
+            ios_per_query: logical_io_count as f64 / issued,
+            device_read_bytes: io_stats.read_bytes,
+            mean_bandwidth_mib: tracer.mean_read_bandwidth(duration_us),
+            bandwidth_timeline_mib: tracer.bandwidth_timeline(duration_us),
+            io_stats,
+        }
+    }
+
+    /// Mean read bandwidth one query sustains over its own lifetime, MiB/s —
+    /// the paper's Fig. 6/11/15 metric. Computed as mean bytes per query over
+    /// mean query latency: it grows with dataset size (more bytes per query,
+    /// O-14) and shrinks with concurrency (latency inflates while bytes stay
+    /// fixed, O-13).
+    pub fn per_query_bandwidth_mib(&self) -> f64 {
+        if self.mean_latency_us <= 0.0 {
+            return 0.0;
+        }
+        self.read_bytes_per_query / (1 << 20) as f64 / (self.mean_latency_us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_computes_percentiles() {
+        let latencies: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let m = RunMetrics::assemble(
+            10.0,
+            latencies,
+            0.5,
+            IoTracer::new(),
+            1e6,
+            10,
+            2048,
+            2,
+        );
+        assert_eq!(m.p50_latency_us, 50.0);
+        assert_eq!(m.p99_latency_us, 99.0);
+        assert!((m.mean_latency_us - 50.5).abs() < 1e-9);
+        assert!((m.read_bytes_per_query - 20.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_utilization_is_clamped() {
+        let m = RunMetrics::assemble(0.0, vec![], 1.7, IoTracer::new(), 1e6, 0, 0, 0);
+        assert_eq!(m.cpu_utilization, 1.0);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let m = RunMetrics::assemble(0.0, vec![], 0.0, IoTracer::new(), 1e6, 0, 0, 0);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.p99_latency_us, 0.0);
+        assert_eq!(m.device_read_bytes, 0);
+        assert_eq!(m.per_query_bandwidth_mib(), 0.0);
+    }
+
+    #[test]
+    fn per_query_bandwidth_is_bytes_over_latency() {
+        // 1 MiB per query, 0.5 s latency → 2 MiB/s.
+        let m = RunMetrics::assemble(
+            2.0,
+            vec![0.5e6, 0.5e6],
+            0.1,
+            IoTracer::new(),
+            1e6,
+            2,
+            2 << 20,
+            2,
+        );
+        assert!((m.per_query_bandwidth_mib() - 2.0).abs() < 1e-9);
+    }
+}

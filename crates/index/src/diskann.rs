@@ -1,0 +1,404 @@
+//! DiskANN: the storage-based graph index (Subramanya et al., NeurIPS 2019),
+//! as deployed by Milvus in the paper.
+//!
+//! Memory holds only product-quantized codes (used to rank candidates);
+//! the Vamana graph *and* the full-precision vectors live on the device in
+//! sector-aligned node records ([`crate::layout::DiskLayout`]). Search is
+//! *beam search*: each hop fetches the `W` (`beam_width`) closest unvisited
+//! candidates' node records in one batch of parallel 4 KiB reads, reranks
+//! the fetched vectors exactly, and expands their neighbors via PQ lookups
+//! into a candidate list of length `L` (`search_list`). `W = 1` degenerates
+//! to classic best-first search; the paper's §VI studies both parameters.
+
+use crate::layout::DiskLayout;
+use crate::trace::{QueryTrace, SearchOutput};
+use crate::vamana::{VamanaConfig, VamanaGraph};
+use crate::{SearchParams, VectorIndex};
+use sann_core::{Dataset, Error, Metric, Result, TopK};
+
+/// Build-time configuration for [`DiskAnnIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskAnnConfig {
+    /// Vamana graph parameters.
+    pub graph: VamanaConfig,
+    /// PQ sub-spaces; 0 means `dim / 8` (96-byte codes for 768-d vectors —
+    /// denser than DiskANN's typical 32–64 bytes because the synthetic
+    /// datasets have tighter clusters than SIFT/Cohere, see DESIGN.md).
+    /// Must divide `dim` when nonzero.
+    pub pq_m: usize,
+    /// PQ centroids per sub-space.
+    pub pq_ksub: usize,
+    /// Byte offset of the index region on the device (sector-aligned).
+    pub base_offset: u64,
+}
+
+impl Default for DiskAnnConfig {
+    fn default() -> Self {
+        DiskAnnConfig { graph: VamanaConfig::default(), pq_m: 0, pq_ksub: 256, base_offset: 0 }
+    }
+}
+
+/// The storage-based DiskANN index.
+pub struct DiskAnnIndex {
+    /// Full-precision vectors: conceptually on disk inside the node records;
+    /// kept here so "reading a node" can return real data.
+    data: Dataset,
+    metric: Metric,
+    graph: VamanaGraph,
+    pq: sann_quant::ProductQuantizer,
+    /// In-memory PQ codes, `n × pq_m` bytes (the index's memory footprint).
+    codes: Vec<u8>,
+    layout: DiskLayout,
+}
+
+impl std::fmt::Debug for DiskAnnIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskAnnIndex")
+            .field("len", &self.data.len())
+            .field("dim", &self.data.dim())
+            .field("r", &self.graph.r())
+            .field("pq_m", &self.pq.m())
+            .field("node_bytes", &self.layout.node_bytes())
+            .finish()
+    }
+}
+
+impl DiskAnnIndex {
+    /// Builds the index: Vamana graph, PQ codebooks + codes, disk layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and PQ training errors; rejects a `pq_m` that does
+    /// not divide the dataset dimensionality.
+    pub fn build(data: &Dataset, metric: Metric, config: DiskAnnConfig) -> Result<DiskAnnIndex> {
+        let dim = data.dim();
+        let pq_m = if config.pq_m == 0 {
+            // Default compression: one byte per 8 dimensions, but always a
+            // divisor of dim.
+            let target = (dim / 8).max(1);
+            (1..=target).rev().find(|m| dim % m == 0).unwrap_or(1)
+        } else {
+            config.pq_m
+        };
+        if dim % pq_m != 0 {
+            return Err(Error::invalid_parameter("pq_m", format!("{pq_m} must divide dim {dim}")));
+        }
+        let graph = VamanaGraph::build(data, metric, config.graph)?;
+        let ksub = config.pq_ksub.min(data.len().max(2) - 1).max(2).min(256);
+        let pq = sann_quant::ProductQuantizer::train(data, pq_m, ksub, config.graph.seed ^ 0xD1)?;
+        let codes = pq.encode_all(data);
+        // Node record: full vector + degree + R neighbor slots.
+        let node_bytes = (dim * 4 + 4 + graph.r() * 4) as u64;
+        let layout = DiskLayout::new(data.len() as u64, node_bytes, config.base_offset);
+        Ok(DiskAnnIndex { data: data.clone(), metric, graph, pq, codes, layout })
+    }
+
+    /// The on-device layout (offsets/requests of node records).
+    pub fn layout(&self) -> &DiskLayout {
+        &self.layout
+    }
+
+    /// The underlying Vamana graph.
+    pub fn graph(&self) -> &VamanaGraph {
+        &self.graph
+    }
+
+    /// PQ code length in bytes.
+    pub fn pq_m(&self) -> usize {
+        self.pq.m()
+    }
+
+    /// The search entry point (graph medoid).
+    pub fn medoid(&self) -> u32 {
+        self.graph.medoid()
+    }
+}
+
+/// Candidate list entry during beam search.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    id: u32,
+    pq_dist: f32,
+    visited: bool,
+}
+
+impl VectorIndex for DiskAnnIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn kind(&self) -> &'static str {
+        "diskann"
+    }
+
+    fn is_storage_based(&self) -> bool {
+        true
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<SearchOutput> {
+        let dim = self.data.dim();
+        if query.len() != dim {
+            return Err(Error::DimensionMismatch { expected: dim, actual: query.len() });
+        }
+        if k == 0 {
+            return Err(Error::invalid_parameter("k", "must be positive"));
+        }
+        let l = params.search_list.max(k);
+        let w = params.beam_width.max(1);
+        let mut trace = QueryTrace::new();
+
+        // Building the ADC table costs ksub sub-distance rows ≈ ksub
+        // full-dimension distance evaluations.
+        let table = self.pq.distance_table(query);
+        trace.push_compute(self.pq.ksub() as u64, dim as u32);
+
+        let mut seen = vec![false; self.data.len()];
+        let mut cands: Vec<Candidate> = Vec::with_capacity(l + self.graph.r());
+        let start = self.graph.medoid();
+        seen[start as usize] = true;
+        cands.push(Candidate {
+            id: start,
+            pq_dist: table.distance_at(&self.codes, start as usize),
+            visited: false,
+        });
+        trace.push_pq_lookup(1, self.pq.m() as u32);
+
+        // Exact distances of every fetched (visited) node, for final rerank.
+        let mut exact = TopK::new(l.max(k));
+
+        loop {
+            // Frontier: up to W closest unvisited candidates within the top-L.
+            let mut frontier: Vec<u32> = Vec::with_capacity(w);
+            for c in cands.iter_mut().take(l) {
+                if !c.visited {
+                    c.visited = true;
+                    frontier.push(c.id);
+                    if frontier.len() == w {
+                        break;
+                    }
+                }
+            }
+            if frontier.is_empty() {
+                break;
+            }
+
+            // One beam: all node records fetched in parallel.
+            let mut reqs = Vec::with_capacity(frontier.len());
+            for &id in &frontier {
+                reqs.extend(self.layout.node_reqs(id as u64));
+            }
+            trace.push_read(reqs);
+
+            // The fetched records contain the full vectors (exact rerank) and
+            // the adjacency lists (expansion via PQ).
+            let mut pq_lookups = 0u64;
+            for &id in &frontier {
+                let exact_d = self.metric.distance(query, self.data.row(id as usize));
+                exact.push(id, exact_d);
+                // Replace the candidate's PQ estimate with the exact distance
+                // so subsequent frontier picks rank against sharp values.
+                if let Some(pos) = cands.iter().position(|c| c.id == id) {
+                    cands.remove(pos);
+                    let at = cands.partition_point(|x| x.pq_dist <= exact_d);
+                    cands.insert(at, Candidate { id, pq_dist: exact_d, visited: true });
+                }
+                for &nb in self.graph.neighbors(id) {
+                    if std::mem::replace(&mut seen[nb as usize], true) {
+                        continue;
+                    }
+                    let d = table.distance_at(&self.codes, nb as usize);
+                    pq_lookups += 1;
+                    insert_candidate(&mut cands, Candidate { id: nb, pq_dist: d, visited: false }, l);
+                }
+            }
+            trace.push_compute(frontier.len() as u64, dim as u32);
+            trace.push_pq_lookup(pq_lookups, self.pq.m() as u32);
+        }
+
+        let mut neighbors = exact.into_sorted_vec();
+        neighbors.truncate(k);
+        Ok(SearchOutput { neighbors, trace })
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        // PQ codes + codebooks; full vectors and the graph live on disk.
+        let codes = self.codes.len() as u64;
+        let codebooks = (self.pq.m() * self.pq.ksub() * (self.data.dim() / self.pq.m()) * 4) as u64;
+        codes + codebooks
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.layout.total_bytes()
+    }
+}
+
+/// Inserts into a distance-sorted bounded candidate list. Keeps at most
+/// `l` *unvisited-or-visited* entries beyond which the tail is truncated
+/// (with a small slack so visited entries do not immediately evict fresh
+/// candidates).
+fn insert_candidate(cands: &mut Vec<Candidate>, c: Candidate, l: usize) {
+    let pos = cands.partition_point(|x| x.pq_dist <= c.pq_dist);
+    cands.insert(pos, c);
+    let cap = l + l / 2 + 1;
+    if cands.len() > cap {
+        cands.truncate(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_core::recall::recall_at_k;
+    use sann_datagen::{EmbeddingModel, GroundTruth};
+
+    fn build_small() -> (Dataset, Dataset, GroundTruth, DiskAnnIndex) {
+        let model = EmbeddingModel::new(64, 8, 55);
+        let base = model.generate(2_000);
+        let queries = model.generate_queries(30);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
+        let config = DiskAnnConfig {
+            graph: VamanaConfig { r: 32, ..VamanaConfig::default() },
+            pq_m: 32,
+            pq_ksub: 64,
+            base_offset: 0,
+        };
+        let index = DiskAnnIndex::build(&base, Metric::L2, config).unwrap();
+        (base, queries, gt, index)
+    }
+
+    fn mean_recall(
+        index: &DiskAnnIndex,
+        queries: &Dataset,
+        gt: &GroundTruth,
+        params: &SearchParams,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (i, q) in queries.iter().enumerate() {
+            let out = index.search(q, 10, params).unwrap();
+            total += recall_at_k(gt.neighbors(i), &out.ids(), 10);
+        }
+        total / queries.len() as f64
+    }
+
+    #[test]
+    fn reaches_target_recall() {
+        let (_, queries, gt, index) = build_small();
+        let params = SearchParams::default().with_search_list(30);
+        let recall = mean_recall(&index, &queries, &gt, &params);
+        assert!(recall > 0.9, "recall {recall} too low");
+    }
+
+    #[test]
+    fn larger_search_list_improves_recall_and_io() {
+        // The paper's KF-3: search_list up => accuracy up, I/O up.
+        let (_, queries, gt, index) = build_small();
+        let p10 = SearchParams::default().with_search_list(10);
+        let p100 = SearchParams::default().with_search_list(100);
+        let r10 = mean_recall(&index, &queries, &gt, &p10);
+        let r100 = mean_recall(&index, &queries, &gt, &p100);
+        assert!(r100 >= r10, "recall must not drop: {r10} -> {r100}");
+        let t10 = index.search(queries.row(0), 10, &p10).unwrap().trace;
+        let t100 = index.search(queries.row(0), 10, &p100).unwrap().trace;
+        assert!(
+            t100.read_bytes() > 2 * t10.read_bytes(),
+            "read bytes should grow markedly: {} -> {}",
+            t10.read_bytes(),
+            t100.read_bytes()
+        );
+    }
+
+    #[test]
+    fn every_request_is_4kib() {
+        // O-15: >99.99% of requests are 4 KiB. In our layout: all of them.
+        let (_, queries, _, index) = build_small();
+        let out = index
+            .search(queries.row(0), 10, &SearchParams::default().with_search_list(50))
+            .unwrap();
+        for step in &out.trace.steps {
+            if let crate::trace::TraceStep::Read { reqs } = step {
+                for r in reqs {
+                    assert_eq!(r.len, 4096);
+                    assert_eq!(r.offset % 4096, 0);
+                }
+            }
+        }
+        assert!(out.trace.io_count() > 0);
+    }
+
+    #[test]
+    fn beam_width_trades_hops_for_parallel_reads() {
+        let (_, queries, _, index) = build_small();
+        let narrow = index
+            .search(queries.row(1), 10, &SearchParams::default().with_search_list(50).with_beam_width(1))
+            .unwrap();
+        let wide = index
+            .search(queries.row(1), 10, &SearchParams::default().with_search_list(50).with_beam_width(8))
+            .unwrap();
+        assert!(
+            wide.trace.hops() < narrow.trace.hops(),
+            "wider beams must mean fewer round trips: {} vs {}",
+            wide.trace.hops(),
+            narrow.trace.hops()
+        );
+        // Wider beams may read somewhat more in total (wasted fetches).
+        assert!(wide.trace.read_bytes() >= narrow.trace.read_bytes());
+    }
+
+    #[test]
+    fn beam_width_one_matches_best_first_recall() {
+        let (_, queries, gt, index) = build_small();
+        let p = SearchParams::default().with_search_list(30).with_beam_width(1);
+        let recall = mean_recall(&index, &queries, &gt, &p);
+        assert!(recall > 0.9, "best-first recall {recall}");
+    }
+
+    #[test]
+    fn memory_is_compressed_storage_is_full() {
+        let (base, _, _, index) = build_small();
+        let raw_bytes = (base.len() * base.row_bytes()) as u64;
+        assert!(
+            index.memory_bytes() < raw_bytes / 4,
+            "PQ memory {} should be far below raw {}",
+            index.memory_bytes(),
+            raw_bytes
+        );
+        assert!(index.storage_bytes() >= raw_bytes, "device holds full vectors + graph");
+    }
+
+    #[test]
+    fn search_list_below_k_is_clamped() {
+        let (_, queries, _, index) = build_small();
+        let p = SearchParams::default().with_search_list(1);
+        let out = index.search(queries.row(0), 10, &p).unwrap();
+        assert_eq!(out.neighbors.len(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (_, queries, _, index) = build_small();
+        assert!(index.search(&[0.0; 8], 10, &SearchParams::default()).is_err());
+        assert!(index.search(queries.row(0), 0, &SearchParams::default()).is_err());
+        let data = EmbeddingModel::new(60, 2, 1).generate(100);
+        let bad = DiskAnnConfig { pq_m: 7, ..DiskAnnConfig::default() };
+        assert!(DiskAnnIndex::build(&data, Metric::L2, bad).is_err());
+    }
+
+    #[test]
+    fn default_pq_m_divides_dim() {
+        for dim in [768usize, 1536, 100, 60] {
+            let model = EmbeddingModel::new(dim, 2, 1);
+            let base = model.generate(300);
+            let config = DiskAnnConfig {
+                graph: VamanaConfig { r: 8, l_build: 20, ..VamanaConfig::default() },
+                pq_ksub: 16,
+                ..DiskAnnConfig::default()
+            };
+            let index = DiskAnnIndex::build(&base, Metric::L2, config).unwrap();
+            assert_eq!(dim % index.pq_m(), 0, "dim {dim}");
+        }
+    }
+}

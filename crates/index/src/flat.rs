@@ -1,0 +1,130 @@
+//! Exact brute-force index — the correctness baseline.
+
+use crate::trace::{QueryTrace, SearchOutput};
+use crate::{SearchParams, VectorIndex};
+use sann_core::{Dataset, Error, Metric, Result, TopK};
+
+/// An exact (non-approximate) index that scans every vector.
+///
+/// Used as the correctness baseline for the approximate indexes and for tiny
+/// collections where an index is not worth building.
+///
+/// # Examples
+///
+/// ```
+/// use sann_index::{FlatIndex, SearchParams, VectorIndex};
+/// use sann_core::{Dataset, Metric};
+///
+/// let data = Dataset::from_rows(vec![vec![0.0, 0.0], vec![5.0, 5.0]])?;
+/// let index = FlatIndex::build(&data, Metric::L2);
+/// let out = index.search(&[4.0, 4.0], 1, &SearchParams::default())?;
+/// assert_eq!(out.neighbors[0].id, 1);
+/// # Ok::<(), sann_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    data: Dataset,
+    metric: Metric,
+}
+
+impl FlatIndex {
+    /// Builds (copies) the index.
+    pub fn build(data: &Dataset, metric: Metric) -> FlatIndex {
+        FlatIndex { data: data.clone(), metric }
+    }
+
+    /// The metric searches use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn kind(&self) -> &'static str {
+        "flat"
+    }
+
+    fn is_storage_based(&self) -> bool {
+        false
+    }
+
+    fn search(&self, query: &[f32], k: usize, _params: &SearchParams) -> Result<SearchOutput> {
+        if query.len() != self.data.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.data.dim(),
+                actual: query.len(),
+            });
+        }
+        if k == 0 {
+            return Err(Error::invalid_parameter("k", "must be positive"));
+        }
+        let mut topk = TopK::new(k);
+        for (id, row) in self.data.iter().enumerate() {
+            topk.push(id as u32, self.metric.distance(query, row));
+        }
+        let mut trace = QueryTrace::new();
+        trace.push_compute(self.data.len() as u64, self.data.dim() as u32);
+        Ok(SearchOutput { neighbors: topk.into_sorted_vec(), trace })
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (self.data.len() * self.data.row_bytes()) as u64
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_datagen::EmbeddingModel;
+
+    #[test]
+    fn finds_self() {
+        let data = EmbeddingModel::new(16, 2, 1).generate(100);
+        let index = FlatIndex::build(&data, Metric::L2);
+        for i in (0..100).step_by(17) {
+            let out = index.search(data.row(i), 1, &SearchParams::default()).unwrap();
+            assert_eq!(out.neighbors[0].id, i as u32);
+        }
+    }
+
+    #[test]
+    fn trace_counts_full_scan() {
+        let data = EmbeddingModel::new(16, 2, 1).generate(100);
+        let index = FlatIndex::build(&data, Metric::L2);
+        let out = index.search(data.row(0), 5, &SearchParams::default()).unwrap();
+        assert_eq!(out.trace.compute_count(), 100);
+        assert_eq!(out.trace.io_count(), 0);
+        assert_eq!(index.memory_bytes(), 100 * 16 * 4);
+        assert_eq!(index.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_dim_and_zero_k() {
+        let data = EmbeddingModel::new(16, 2, 1).generate(10);
+        let index = FlatIndex::build(&data, Metric::L2);
+        assert!(index.search(&[1.0; 8], 1, &SearchParams::default()).is_err());
+        assert!(index.search(&[1.0; 16], 0, &SearchParams::default()).is_err());
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let data = EmbeddingModel::new(8, 2, 2).generate(50);
+        let index = FlatIndex::build(&data, Metric::L2);
+        let out = index.search(data.row(0), 10, &SearchParams::default()).unwrap();
+        for pair in out.neighbors.windows(2) {
+            assert!(pair[0].dist <= pair[1].dist);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! HNSW — Hierarchical Navigable Small World graphs (Malkov & Yashunin,
+//! TPAMI 2020).
+//!
+//! The memory-based index used by every database in the paper. The
+//! implementation follows the original algorithm:
+//!
+//! * geometric level assignment with normalization factor `mL = 1/ln(M)`,
+//! * greedy descent through the upper layers,
+//! * `ef`-bounded best-first search at each layer,
+//! * neighbor selection by the pruning heuristic (Algorithm 4 of the paper),
+//! * degree caps `M` on upper layers and `2M` on layer 0.
+//!
+//! Builds are parallel (scoped threads + per-node locks, the hnswlib
+//! approach); set [`HnswConfig::threads`] to 1 for a fully deterministic
+//! graph.
+
+use crate::trace::{QueryTrace, SearchOutput};
+use crate::{par, SearchParams, VectorIndex};
+use parking_lot::{Mutex, RwLock};
+use sann_core::rng::SplitMix64;
+use sann_core::{Dataset, Error, Metric, Neighbor, Result, TopK};
+use std::collections::BinaryHeap;
+
+/// Build-time configuration for [`HnswIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswConfig {
+    /// Degree parameter `M` (paper Table II uses 16).
+    pub m: usize,
+    /// Construction queue length `efConstruction` (paper uses 200).
+    pub ef_construction: usize,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+    /// Build threads; 0 means all cores, 1 means deterministic.
+    pub threads: usize,
+}
+
+impl Default for HnswConfig {
+    /// The paper's build parameters: `M = 16`, `efConstruction = 200`.
+    fn default() -> Self {
+        HnswConfig { m: 16, ef_construction: 200, seed: 0x45_4653, threads: 0 }
+    }
+}
+
+/// A built HNSW index.
+pub struct HnswIndex {
+    data: Dataset,
+    metric: Metric,
+    /// `links[node][level]` = neighbor ids. `links[node].len() - 1` is the
+    /// node's top level.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+    config: HnswConfig,
+}
+
+impl std::fmt::Debug for HnswIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HnswIndex")
+            .field("len", &self.data.len())
+            .field("dim", &self.data.dim())
+            .field("max_level", &self.max_level)
+            .field("m", &self.config.m)
+            .finish()
+    }
+}
+
+/// Mutable graph state during construction.
+struct Builder<'a> {
+    data: &'a Dataset,
+    metric: Metric,
+    m: usize,
+    ef: usize,
+    levels: Vec<usize>,
+    /// Per node, per level adjacency under its own lock.
+    links: Vec<Vec<Mutex<Vec<u32>>>>,
+    /// (entry node, top level) — updated as taller nodes are inserted.
+    entry: RwLock<(u32, usize)>,
+}
+
+impl Builder<'_> {
+    fn dist(&self, a: &[f32], id: u32) -> f32 {
+        self.metric.distance(a, self.data.row(id as usize))
+    }
+
+    fn max_degree(&self, level: usize) -> usize {
+        if level == 0 {
+            self.m * 2
+        } else {
+            self.m
+        }
+    }
+
+    /// Greedy single-entry descent at `level`.
+    fn greedy(&self, q: &[f32], mut ep: u32, level: usize) -> u32 {
+        let mut best = self.dist(q, ep);
+        loop {
+            let mut improved = false;
+            let neighbors = self.links[ep as usize][level].lock().clone();
+            for n in neighbors {
+                let d = self.dist(q, n);
+                if d < best {
+                    best = d;
+                    ep = n;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// `ef`-bounded best-first search at `level`, returning candidates
+    /// closest-first.
+    fn search_layer(&self, q: &[f32], ep: u32, level: usize, ef: usize) -> Vec<Neighbor> {
+        let mut visited = vec![false; self.data.len()];
+        visited[ep as usize] = true;
+        let d0 = self.dist(q, ep);
+        // Min-heap of frontier candidates via Reverse ordering on Neighbor.
+        let mut frontier: BinaryHeap<std::cmp::Reverse<Neighbor>> = BinaryHeap::new();
+        frontier.push(std::cmp::Reverse(Neighbor::new(ep, d0)));
+        let mut best = TopK::new(ef);
+        best.push(ep, d0);
+        while let Some(std::cmp::Reverse(cand)) = frontier.pop() {
+            if cand.dist > best.bound() {
+                break;
+            }
+            let neighbors = self.links[cand.id as usize][level].lock().clone();
+            for n in neighbors {
+                if std::mem::replace(&mut visited[n as usize], true) {
+                    continue;
+                }
+                let d = self.dist(q, n);
+                if d < best.bound() || !best.is_full() {
+                    best.push(n, d);
+                    frontier.push(std::cmp::Reverse(Neighbor::new(n, d)));
+                }
+            }
+        }
+        best.into_sorted_vec()
+    }
+
+    /// Neighbor-selection heuristic (keep a candidate only if it is closer
+    /// to the query than to every already-kept candidate).
+    fn select_neighbors(&self, candidates: &[Neighbor], m: usize) -> Vec<u32> {
+        let mut kept: Vec<Neighbor> = Vec::with_capacity(m);
+        for &c in candidates {
+            if kept.len() >= m {
+                break;
+            }
+            let cv = self.data.row(c.id as usize);
+            let dominated = kept
+                .iter()
+                .any(|r| self.metric.distance(cv, self.data.row(r.id as usize)) < c.dist);
+            if !dominated {
+                kept.push(c);
+            }
+        }
+        // Fall back to plain nearest if the heuristic pruned too aggressively.
+        if kept.len() < m {
+            for &c in candidates {
+                if kept.len() >= m {
+                    break;
+                }
+                if !kept.iter().any(|r| r.id == c.id) {
+                    kept.push(c);
+                }
+            }
+        }
+        kept.into_iter().map(|n| n.id).collect()
+    }
+
+    fn insert(&self, id: u32) {
+        let q = self.data.row(id as usize);
+        let node_level = self.levels[id as usize];
+        let (mut ep, top) = *self.entry.read();
+
+        // Descend through layers above the node's level.
+        for l in (node_level + 1..=top).rev() {
+            ep = self.greedy(q, ep, l);
+        }
+
+        // Connect on each shared layer.
+        for l in (0..=node_level.min(top)).rev() {
+            let found = self.search_layer(q, ep, l, self.ef);
+            let selected = self.select_neighbors(&found, self.max_degree(l));
+            ep = found.first().map(|n| n.id).unwrap_or(ep);
+            *self.links[id as usize][l].lock() = selected.clone();
+            for n in selected {
+                let mut adj = self.links[n as usize][l].lock();
+                if !adj.contains(&id) {
+                    adj.push(id);
+                }
+                let cap = self.max_degree(l);
+                if adj.len() > cap {
+                    // Re-prune the overflowing node with the same heuristic.
+                    let nv = self.data.row(n as usize);
+                    let mut cands: Vec<Neighbor> =
+                        adj.iter().map(|&x| Neighbor::new(x, self.dist(nv, x))).collect();
+                    cands.sort_unstable();
+                    *adj = self.select_neighbors(&cands, cap);
+                }
+            }
+        }
+
+        // Become the entry point if taller than the current one.
+        if node_level > top {
+            let mut entry = self.entry.write();
+            if node_level > entry.1 {
+                *entry = (id, node_level);
+            }
+        }
+    }
+}
+
+impl HnswIndex {
+    /// Builds the index over `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] for an empty dataset and
+    /// [`Error::InvalidParameter`] for `m < 2`.
+    pub fn build(data: &Dataset, metric: Metric, config: HnswConfig) -> Result<HnswIndex> {
+        if data.is_empty() {
+            return Err(Error::Empty("dataset"));
+        }
+        if config.m < 2 {
+            return Err(Error::invalid_parameter("m", "must be at least 2"));
+        }
+        let n = data.len();
+        let ml = 1.0 / (config.m as f64).ln();
+        let mut rng = SplitMix64::new(config.seed);
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                ((-u.ln() * ml) as usize).min(31)
+            })
+            .collect();
+
+        let links: Vec<Vec<Mutex<Vec<u32>>>> = levels
+            .iter()
+            .map(|&l| (0..=l).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+
+        let builder = Builder {
+            data,
+            metric,
+            m: config.m,
+            ef: config.ef_construction.max(config.m),
+            levels,
+            links,
+            entry: RwLock::new((0, 0)),
+        };
+        // Seed the entry point with node 0 at its own level.
+        *builder.entry.write() = (0, builder.levels[0]);
+
+        let threads = if config.threads == 0 { par::default_threads() } else { config.threads };
+        // Node 0 is already the entry; insert the rest. Parallel ranges each
+        // insert their ids in order, which matches hnswlib's behaviour.
+        par::par_ranges(n - 1, threads, |start, end| {
+            for i in start..end {
+                builder.insert((i + 1) as u32);
+            }
+        });
+
+        let (entry, max_level) = *builder.entry.read();
+        let links: Vec<Vec<Vec<u32>>> = builder
+            .links
+            .into_iter()
+            .map(|per_level| per_level.into_iter().map(|m| m.into_inner()).collect())
+            .collect();
+        Ok(HnswIndex { data: data.clone(), metric, links, entry, max_level, config })
+    }
+
+    /// The entry node id.
+    pub fn entry_point(&self) -> u32 {
+        self.entry
+    }
+
+    /// Highest layer in the graph.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Build configuration used.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Degree of `id` at `level` (diagnostics); 0 when the node does not
+    /// reach that level.
+    pub fn degree(&self, id: u32, level: usize) -> usize {
+        self.links.get(id as usize).and_then(|l| l.get(level)).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Query-time graph search with a pluggable distance oracle: greedy
+    /// descent through the upper layers, then an `ef`-bounded best-first
+    /// search at layer 0. This is the engine behind both full-precision
+    /// search ([`HnswIndex::search`]) and quantized search
+    /// ([`crate::hnsw_sq::HnswSqIndex`]).
+    pub(crate) fn search_graph<F>(&self, mut dist: F, ef: usize) -> Vec<Neighbor>
+    where
+        F: FnMut(u32) -> f32,
+    {
+        // Greedy descent through upper layers.
+        let mut ep = self.entry;
+        for l in (1..=self.max_level).rev() {
+            let mut best = dist(ep);
+            loop {
+                let mut improved = false;
+                let adj = self.links[ep as usize].get(l).map(Vec::as_slice).unwrap_or(&[]);
+                for &n in adj {
+                    let d = dist(n);
+                    if d < best {
+                        best = d;
+                        ep = n;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // ef-bounded best-first at layer 0.
+        let mut visited = vec![false; self.data.len()];
+        visited[ep as usize] = true;
+        let d0 = dist(ep);
+        let mut frontier: BinaryHeap<std::cmp::Reverse<Neighbor>> = BinaryHeap::new();
+        frontier.push(std::cmp::Reverse(Neighbor::new(ep, d0)));
+        let mut best = TopK::new(ef);
+        best.push(ep, d0);
+        while let Some(std::cmp::Reverse(cand)) = frontier.pop() {
+            if cand.dist > best.bound() {
+                break;
+            }
+            for &n in &self.links[cand.id as usize][0] {
+                if std::mem::replace(&mut visited[n as usize], true) {
+                    continue;
+                }
+                let d = dist(n);
+                if d < best.bound() || !best.is_full() {
+                    best.push(n, d);
+                    frontier.push(std::cmp::Reverse(Neighbor::new(n, d)));
+                }
+            }
+        }
+        best.into_sorted_vec()
+    }
+
+    /// The raw vectors the index was built over.
+    pub(crate) fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The metric searches use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn kind(&self) -> &'static str {
+        "hnsw"
+    }
+
+    fn is_storage_based(&self) -> bool {
+        false
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<SearchOutput> {
+        if query.len() != self.data.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.data.dim(),
+                actual: query.len(),
+            });
+        }
+        if k == 0 {
+            return Err(Error::invalid_parameter("k", "must be positive"));
+        }
+        let ef = params.ef_search.max(k);
+        let mut dists = 0u64;
+        let mut found = self.search_graph(
+            |id| {
+                dists += 1;
+                self.metric.distance(query, self.data.row(id as usize))
+            },
+            ef,
+        );
+        found.truncate(k);
+        let mut trace = QueryTrace::new();
+        trace.push_compute(dists, self.data.dim() as u32);
+        Ok(SearchOutput { neighbors: found, trace })
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let vectors = (self.data.len() * self.data.row_bytes()) as u64;
+        let edges: u64 = self
+            .links
+            .iter()
+            .map(|per_level| per_level.iter().map(|adj| 4 * adj.len() as u64).sum::<u64>())
+            .sum();
+        vectors + edges
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_core::recall::recall_at_k;
+    use sann_datagen::{EmbeddingModel, GroundTruth};
+
+    fn build_small(threads: usize) -> (Dataset, Dataset, GroundTruth, HnswIndex) {
+        let model = EmbeddingModel::new(48, 8, 31);
+        let base = model.generate(2_000);
+        let queries = model.generate_queries(30);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
+        let config = HnswConfig { threads, ..HnswConfig::default() };
+        let index = HnswIndex::build(&base, Metric::L2, config).unwrap();
+        (base, queries, gt, index)
+    }
+
+    fn mean_recall(index: &HnswIndex, queries: &Dataset, gt: &GroundTruth, ef: usize) -> f64 {
+        let params = SearchParams::default().with_ef_search(ef);
+        let mut total = 0.0;
+        for (i, q) in queries.iter().enumerate() {
+            let out = index.search(q, 10, &params).unwrap();
+            total += recall_at_k(gt.neighbors(i), &out.ids(), 10);
+        }
+        total / queries.len() as f64
+    }
+
+    #[test]
+    fn reaches_high_recall() {
+        let (_, queries, gt, index) = build_small(0);
+        let recall = mean_recall(&index, &queries, &gt, 64);
+        assert!(recall > 0.95, "recall {recall} too low");
+    }
+
+    #[test]
+    fn deterministic_single_threaded_build() {
+        let (_, _, _, a) = build_small(1);
+        let (_, _, _, b) = build_small(1);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.entry_point(), b.entry_point());
+    }
+
+    #[test]
+    fn higher_ef_does_not_hurt_recall_much() {
+        let (_, queries, gt, index) = build_small(0);
+        let low = mean_recall(&index, &queries, &gt, 10);
+        let high = mean_recall(&index, &queries, &gt, 128);
+        assert!(high >= low - 0.02, "ef=128 recall {high} << ef=10 recall {low}");
+        assert!(high > 0.95);
+    }
+
+    #[test]
+    fn degree_caps_hold() {
+        let (_, _, _, index) = build_small(0);
+        let m = index.config().m;
+        for id in 0..index.len() as u32 {
+            assert!(index.degree(id, 0) <= 2 * m, "layer-0 degree cap violated at {id}");
+            for l in 1..=index.max_level() {
+                assert!(index.degree(id, l) <= m, "layer-{l} degree cap violated at {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_self_exactly() {
+        let (base, _, _, index) = build_small(0);
+        for i in (0..base.len()).step_by(211) {
+            let out = index.search(base.row(i), 1, &SearchParams::default()).unwrap();
+            assert_eq!(out.neighbors[0].id, i as u32, "query {i}");
+        }
+    }
+
+    #[test]
+    fn trace_scales_with_ef() {
+        let (_, queries, _, index) = build_small(0);
+        let small = index
+            .search(queries.row(0), 10, &SearchParams::default().with_ef_search(10))
+            .unwrap();
+        let large = index
+            .search(queries.row(0), 10, &SearchParams::default().with_ef_search(200))
+            .unwrap();
+        assert!(large.trace.compute_count() > small.trace.compute_count());
+        assert_eq!(small.trace.io_count(), 0);
+    }
+
+    #[test]
+    fn search_visits_tiny_fraction_of_dataset() {
+        let (base, queries, _, index) = build_small(0);
+        let out = index
+            .search(queries.row(0), 10, &SearchParams::default().with_ef_search(27))
+            .unwrap();
+        assert!(
+            out.trace.compute_count() < (base.len() / 4) as u64,
+            "HNSW visited {} of {}",
+            out.trace.compute_count(),
+            base.len()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_build_and_search() {
+        let empty = Dataset::with_dim(8);
+        assert!(HnswIndex::build(&empty, Metric::L2, HnswConfig::default()).is_err());
+        let data = EmbeddingModel::new(8, 2, 1).generate(10);
+        assert!(HnswIndex::build(
+            &data,
+            Metric::L2,
+            HnswConfig { m: 1, ..HnswConfig::default() }
+        )
+        .is_err());
+        let index = HnswIndex::build(&data, Metric::L2, HnswConfig::default()).unwrap();
+        assert!(index.search(&[0.0; 4], 1, &SearchParams::default()).is_err());
+        assert!(index.search(&[0.0; 8], 0, &SearchParams::default()).is_err());
+    }
+
+    #[test]
+    fn single_element_index_works() {
+        let data = Dataset::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let index = HnswIndex::build(&data, Metric::L2, HnswConfig::default()).unwrap();
+        let out = index.search(&[1.0, 2.0], 5, &SearchParams::default()).unwrap();
+        assert_eq!(out.neighbors.len(), 1);
+        assert_eq!(out.neighbors[0].id, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! On-"disk" layouts for the storage-based indexes.
+//!
+//! The simulated device is addressed in 4 KiB sectors — the access granularity
+//! the paper observes (O-15: >99.99 % of requests during DiskANN search are
+//! 4 KiB). Layout rules follow DiskANN's `disk_index` format:
+//!
+//! * a node record is the full-precision vector followed by the degree and
+//!   the neighbor ids, padded so records never straddle a sector boundary
+//!   unless a single record is larger than one sector;
+//! * records no larger than a sector are packed `floor(4096 / node_bytes)`
+//!   per sector (768-d, R=64 → 3332 B → one node per sector);
+//! * records larger than a sector span `ceil(node_bytes / 4096)` sectors and
+//!   are fetched as *multiple 4 KiB requests*, one per sector (1536-d → two
+//!   4 KiB requests per node) — which is why request size stays 4 KiB even
+//!   for 1536-dimensional datasets.
+
+use crate::trace::IoReq;
+
+/// Device sector (and page-cache page) size in bytes.
+pub const SECTOR_BYTES: u64 = 4096;
+
+/// Maximum size of one sequential read request, mirroring the kernel's
+/// `max_sectors_kb` style splitting that the paper's 128 KiB fio runs use.
+pub const MAX_REQUEST_BYTES: u64 = 128 * 1024;
+
+/// Sector-aligned placement of fixed-size node records (the DiskANN layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskLayout {
+    node_bytes: u64,
+    nodes_per_sector: u64,
+    sectors_per_node: u64,
+    n_nodes: u64,
+    base_offset: u64,
+}
+
+impl DiskLayout {
+    /// Creates a layout for `n_nodes` records of `node_bytes` bytes starting
+    /// at byte `base_offset` (which must be sector-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_bytes` is zero or `base_offset` is not sector-aligned.
+    pub fn new(n_nodes: u64, node_bytes: u64, base_offset: u64) -> DiskLayout {
+        assert!(node_bytes > 0, "node_bytes must be positive");
+        assert_eq!(base_offset % SECTOR_BYTES, 0, "base offset must be sector-aligned");
+        if node_bytes <= SECTOR_BYTES {
+            DiskLayout {
+                node_bytes,
+                nodes_per_sector: SECTOR_BYTES / node_bytes,
+                sectors_per_node: 1,
+                n_nodes,
+                base_offset,
+            }
+        } else {
+            DiskLayout {
+                node_bytes,
+                nodes_per_sector: 0,
+                sectors_per_node: node_bytes.div_ceil(SECTOR_BYTES),
+                n_nodes,
+                base_offset,
+            }
+        }
+    }
+
+    /// Bytes of one node record (before padding).
+    pub fn node_bytes(&self) -> u64 {
+        self.node_bytes
+    }
+
+    /// Records per sector (0 when a record spans multiple sectors).
+    pub fn nodes_per_sector(&self) -> u64 {
+        self.nodes_per_sector
+    }
+
+    /// Sectors per record (1 when records pack into sectors).
+    pub fn sectors_per_node(&self) -> u64 {
+        self.sectors_per_node
+    }
+
+    /// Number of records.
+    pub fn n_nodes(&self) -> u64 {
+        self.n_nodes
+    }
+
+    /// First sector (byte offset) of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n_nodes`.
+    pub fn node_offset(&self, id: u64) -> u64 {
+        assert!(id < self.n_nodes, "node id out of range");
+        if self.nodes_per_sector > 0 {
+            self.base_offset + (id / self.nodes_per_sector) * SECTOR_BYTES
+        } else {
+            self.base_offset + id * self.sectors_per_node * SECTOR_BYTES
+        }
+    }
+
+    /// The read requests needed to fetch node `id`: one 4 KiB request per
+    /// sector the record occupies.
+    pub fn node_reqs(&self, id: u64) -> Vec<IoReq> {
+        let first = self.node_offset(id);
+        (0..self.sectors_per_node.max(1))
+            .map(|s| IoReq::new(first + s * SECTOR_BYTES, SECTOR_BYTES as u32))
+            .collect()
+    }
+
+    /// Total bytes the layout occupies on the device (sector-aligned).
+    pub fn total_bytes(&self) -> u64 {
+        if self.nodes_per_sector > 0 {
+            self.n_nodes.div_ceil(self.nodes_per_sector) * SECTOR_BYTES
+        } else {
+            self.n_nodes * self.sectors_per_node * SECTOR_BYTES
+        }
+    }
+
+    /// One past the last byte used by this layout (for stacking regions).
+    pub fn end_offset(&self) -> u64 {
+        self.base_offset + self.total_bytes()
+    }
+}
+
+/// Splits a contiguous byte range (e.g. an IVF posting list) into
+/// sector-aligned sequential read requests of at most
+/// [`MAX_REQUEST_BYTES`] each.
+pub fn range_reqs(offset: u64, bytes: u64) -> Vec<IoReq> {
+    if bytes == 0 {
+        return Vec::new();
+    }
+    let start = offset / SECTOR_BYTES * SECTOR_BYTES;
+    let end = (offset + bytes).div_ceil(SECTOR_BYTES) * SECTOR_BYTES;
+    let mut reqs = Vec::new();
+    let mut at = start;
+    while at < end {
+        let len = (end - at).min(MAX_REQUEST_BYTES);
+        reqs.push(IoReq::new(at, len as u32));
+        at += len;
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohere_node_fits_one_sector() {
+        // 768-d f32 vector + degree u32 + 64 u32 neighbors = 3332 bytes.
+        let layout = DiskLayout::new(1000, 768 * 4 + 4 + 64 * 4, 0);
+        assert_eq!(layout.nodes_per_sector(), 1);
+        assert_eq!(layout.sectors_per_node(), 1);
+        let reqs = layout.node_reqs(5);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].len, 4096);
+        assert_eq!(reqs[0].offset, 5 * 4096);
+    }
+
+    #[test]
+    fn openai_node_spans_two_sectors_as_two_4k_requests() {
+        // 1536-d f32 vector + degree + 64 neighbors = 6404 bytes.
+        let layout = DiskLayout::new(1000, 1536 * 4 + 4 + 64 * 4, 0);
+        assert_eq!(layout.sectors_per_node(), 2);
+        let reqs = layout.node_reqs(3);
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().all(|r| r.len == 4096), "O-15: requests stay 4 KiB");
+        assert_eq!(reqs[0].offset, 3 * 2 * 4096);
+        assert_eq!(reqs[1].offset, 3 * 2 * 4096 + 4096);
+    }
+
+    #[test]
+    fn small_nodes_pack() {
+        let layout = DiskLayout::new(10, 1000, 0);
+        assert_eq!(layout.nodes_per_sector(), 4);
+        assert_eq!(layout.node_offset(0), layout.node_offset(3));
+        assert_ne!(layout.node_offset(3), layout.node_offset(4));
+        assert_eq!(layout.total_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn base_offset_applies() {
+        let layout = DiskLayout::new(4, 4096, 8192);
+        assert_eq!(layout.node_offset(0), 8192);
+        assert_eq!(layout.end_offset(), 8192 + 4 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "node id out of range")]
+    fn out_of_range_id_panics() {
+        DiskLayout::new(4, 128, 0).node_offset(99);
+    }
+
+    #[test]
+    fn range_reqs_split_at_128k() {
+        let reqs = range_reqs(0, 300 * 1024);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].len, 128 * 1024);
+        assert_eq!(reqs[1].len, 128 * 1024);
+        assert_eq!(reqs[2].len as u64, 300 * 1024 - 256 * 1024);
+        assert_eq!(reqs[1].offset, 128 * 1024);
+    }
+
+    #[test]
+    fn range_reqs_align_to_sectors() {
+        let reqs = range_reqs(100, 200);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].offset, 0);
+        assert_eq!(reqs[0].len, 4096);
+    }
+
+    #[test]
+    fn range_reqs_empty() {
+        assert!(range_reqs(4096, 0).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Vector indexes: Flat, IVF, HNSW, and DiskANN — each built from scratch.
+//!
+//! Every index implements [`VectorIndex`]: searches return both the
+//! approximate neighbors *and* a [`QueryTrace`] recording the work performed
+//! (distance computations, PQ lookups, and — for storage-based indexes — the
+//! exact block I/O requests with their dependency structure). The trace is
+//! what the discrete-event engine in `sann-engine` replays to predict
+//! latency, throughput, and device bandwidth; the neighbors are what recall
+//! is scored on. Results are always exact algorithm outputs, never modeled.
+//!
+//! # Index inventory (paper §II-B)
+//!
+//! | Index | Placement | Paper usage |
+//! |---|---|---|
+//! | [`FlatIndex`] | memory | ground-truth / baseline |
+//! | [`IvfIndex`] | memory | Milvus-IVF |
+//! | [`IvfPqIndex`] | storage | LanceDB-IVF (product-quantized, posting lists on disk) |
+//! | [`HnswIndex`] | memory | Milvus/Qdrant/Weaviate-HNSW |
+//! | [`HnswSqIndex`] | memory | LanceDB-HNSW (scalar-quantized) |
+//! | [`MmapHnswIndex`] | storage | Qdrant's mmap mode (graph in memory, vectors page-faulted from storage) |
+//! | [`DiskAnnIndex`] | storage | Milvus-DiskANN (PQ in memory, graph + vectors on disk) |
+//! | [`SpannIndex`] | storage | SPANN (§II-B's cluster-based alternative: centroids in memory, replicated posting lists on disk) |
+//!
+//! # Examples
+//!
+//! ```
+//! use sann_index::{HnswConfig, HnswIndex, SearchParams, VectorIndex};
+//! use sann_datagen::EmbeddingModel;
+//!
+//! let data = EmbeddingModel::new(32, 4, 9).generate(500);
+//! let index = HnswIndex::build(&data, sann_core::Metric::L2, HnswConfig::default())?;
+//! let out = index.search(data.row(3), 1, &SearchParams::default())?;
+//! assert_eq!(out.neighbors[0].id, 3);
+//! # Ok::<(), sann_core::Error>(())
+//! ```
+
+pub mod diskann;
+pub mod flat;
+pub mod fresh;
+pub mod hnsw;
+pub mod hnsw_mmap;
+pub mod hnsw_sq;
+pub mod ivf;
+pub mod layout;
+pub mod par;
+pub mod spann;
+pub mod trace;
+pub mod vamana;
+
+pub use diskann::{DiskAnnConfig, DiskAnnIndex};
+pub use flat::FlatIndex;
+pub use fresh::{FreshConfig, FreshDiskAnnIndex};
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use hnsw_mmap::MmapHnswIndex;
+pub use hnsw_sq::HnswSqIndex;
+pub use ivf::{IvfConfig, IvfIndex, IvfPqIndex};
+pub use layout::DiskLayout;
+pub use spann::{SpannConfig, SpannIndex};
+pub use trace::{IoReq, QueryTrace, SearchOutput, TraceStep};
+pub use vamana::{VamanaConfig, VamanaGraph};
+
+use sann_core::{Neighbor, Result};
+
+/// Search-time parameters, a superset across index families.
+///
+/// Indexes read the fields relevant to them and ignore the rest:
+///
+/// * IVF reads [`nprobe`](SearchParams::nprobe),
+/// * HNSW reads [`ef_search`](SearchParams::ef_search),
+/// * DiskANN reads [`search_list`](SearchParams::search_list) and
+///   [`beam_width`](SearchParams::beam_width) (the paper's §VI parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchParams {
+    /// IVF: number of candidate clusters scanned.
+    pub nprobe: usize,
+    /// HNSW: candidate queue length (`efSearch`).
+    pub ef_search: usize,
+    /// DiskANN: candidate list size (`search_list` / `L`).
+    pub search_list: usize,
+    /// DiskANN: number of node reads issued in parallel per hop (`W`).
+    pub beam_width: usize,
+}
+
+impl Default for SearchParams {
+    /// The paper's Table II defaults: `nprobe` tuned per dataset (16 here),
+    /// `efSearch` 27, `search_list` 10, `beam_width` 4.
+    fn default() -> Self {
+        SearchParams { nprobe: 16, ef_search: 27, search_list: 10, beam_width: 4 }
+    }
+}
+
+impl SearchParams {
+    /// Sets `nprobe`.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe;
+        self
+    }
+
+    /// Sets `ef_search`.
+    pub fn with_ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef;
+        self
+    }
+
+    /// Sets `search_list`.
+    pub fn with_search_list(mut self, l: usize) -> Self {
+        self.search_list = l;
+        self
+    }
+
+    /// Sets `beam_width`.
+    pub fn with_beam_width(mut self, w: usize) -> Self {
+        self.beam_width = w;
+        self
+    }
+}
+
+/// The interface every index implements.
+///
+/// The trait is object-safe; `sann-vdb` stores collections behind
+/// `Box<dyn VectorIndex>`.
+pub trait VectorIndex: Send + Sync {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// A short name for reports (e.g. `"hnsw"`, `"diskann"`).
+    fn kind(&self) -> &'static str;
+
+    /// Whether searches touch simulated storage (true for DiskANN / IVF-PQ
+    /// disk layouts).
+    fn is_storage_based(&self) -> bool;
+
+    /// Approximate `k`-nearest-neighbor search.
+    ///
+    /// Returns the neighbors closest-first plus the [`QueryTrace`] of the
+    /// work performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sann_core::Error::DimensionMismatch`] when the query has the
+    /// wrong dimensionality and [`sann_core::Error::InvalidParameter`] when
+    /// parameters are out of range (e.g. `search_list < k`).
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<SearchOutput>;
+
+    /// Bytes of main memory the index occupies (used for the paper's
+    /// memory-cost comparisons).
+    fn memory_bytes(&self) -> u64;
+
+    /// Bytes of storage the index occupies (0 for memory-based indexes).
+    fn storage_bytes(&self) -> u64;
+}
+
+/// Convenience: runs `search` for a batch of queries, returning ids per query
+/// (the shape recall scoring expects).
+///
+/// # Errors
+///
+/// Propagates the first search error.
+pub fn search_ids(
+    index: &dyn VectorIndex,
+    queries: &sann_core::Dataset,
+    k: usize,
+    params: &SearchParams,
+) -> Result<Vec<Vec<u32>>> {
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries.iter() {
+        let hits = index.search(q, k, params)?;
+        out.push(hits.neighbors.iter().map(|n: &Neighbor| n.id).collect());
+    }
+    Ok(out)
+}

@@ -1,0 +1,222 @@
+//! Query traces: the record of work a search performed.
+//!
+//! A trace is an ordered list of [`TraceStep`]s. Steps are *sequentially
+//! dependent* — step `i+1` cannot start before step `i` completes — which is
+//! exactly the dependency structure of graph traversal on storage ("graph-
+//! based indexes are prone to high latency due to their dependency between
+//! I/O requests", paper §II-B). Parallelism *within* a step is explicit: a
+//! [`TraceStep::Read`] carries the batch of requests issued together (the
+//! DiskANN beam), and the engine lets them proceed concurrently.
+
+use sann_core::Neighbor;
+
+/// One block-level read request, 4 KiB-aligned by construction of the disk
+/// layouts in [`crate::layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoReq {
+    /// Byte offset on the simulated device.
+    pub offset: u64,
+    /// Request length in bytes.
+    pub len: u32,
+}
+
+impl IoReq {
+    /// Creates a request.
+    pub fn new(offset: u64, len: u32) -> Self {
+        IoReq { offset, len }
+    }
+}
+
+/// One unit of sequentially-ordered work inside a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceStep {
+    /// Full-precision distance computations: `count` distances at
+    /// dimensionality `dim`.
+    Compute {
+        /// Number of distance evaluations.
+        count: u64,
+        /// Vector dimensionality of each evaluation.
+        dim: u32,
+    },
+    /// Product-quantization ADC lookups: `count` code-distance evaluations
+    /// with `m`-byte codes (an order of magnitude cheaper than full
+    /// precision).
+    PqLookup {
+        /// Number of code distances evaluated.
+        count: u64,
+        /// Code length in bytes.
+        m: u32,
+    },
+    /// A batch of reads issued concurrently; the step completes when the
+    /// slowest request completes (DiskANN beam semantics).
+    Read {
+        /// The requests in the batch.
+        reqs: Vec<IoReq>,
+    },
+}
+
+/// The full work log of one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryTrace {
+    /// Ordered, sequentially-dependent steps.
+    pub steps: Vec<TraceStep>,
+}
+
+impl QueryTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        QueryTrace::default()
+    }
+
+    /// Appends a compute step (no-op for `count == 0`).
+    pub fn push_compute(&mut self, count: u64, dim: u32) {
+        if count == 0 {
+            return;
+        }
+        // Merge with a trailing compute step of the same dimensionality to
+        // keep traces compact.
+        if let Some(TraceStep::Compute { count: c, dim: d }) = self.steps.last_mut() {
+            if *d == dim {
+                *c += count;
+                return;
+            }
+        }
+        self.steps.push(TraceStep::Compute { count, dim });
+    }
+
+    /// Appends a PQ-lookup step (no-op for `count == 0`).
+    pub fn push_pq_lookup(&mut self, count: u64, m: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(TraceStep::PqLookup { count: c, m: mm }) = self.steps.last_mut() {
+            if *mm == m {
+                *c += count;
+                return;
+            }
+        }
+        self.steps.push(TraceStep::PqLookup { count, m });
+    }
+
+    /// Appends a read beam (no-op for an empty batch).
+    pub fn push_read(&mut self, reqs: Vec<IoReq>) {
+        if reqs.is_empty() {
+            return;
+        }
+        self.steps.push(TraceStep::Read { reqs });
+    }
+
+    /// Total number of I/O requests issued.
+    pub fn io_count(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TraceStep::Read { reqs } => reqs.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TraceStep::Read { reqs } => reqs.iter().map(|r| r.len as u64).sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of read beams (graph hops for DiskANN).
+    pub fn hops(&self) -> u64 {
+        self.steps.iter().filter(|s| matches!(s, TraceStep::Read { .. })).count() as u64
+    }
+
+    /// Total full-precision distance evaluations.
+    pub fn compute_count(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TraceStep::Compute { count, .. } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total PQ lookups.
+    pub fn pq_lookup_count(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TraceStep::PqLookup { count, .. } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// The result of one search: neighbors plus the work log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutput {
+    /// Approximate nearest neighbors, closest first.
+    pub neighbors: Vec<Neighbor>,
+    /// The work the search performed.
+    pub trace: QueryTrace,
+}
+
+impl SearchOutput {
+    /// Neighbor ids, closest first.
+    pub fn ids(&self) -> Vec<u32> {
+        self.neighbors.iter().map(|n| n.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_count_correctly() {
+        let mut t = QueryTrace::new();
+        t.push_compute(10, 768);
+        t.push_read(vec![IoReq::new(0, 4096), IoReq::new(4096, 4096)]);
+        t.push_pq_lookup(64, 48);
+        t.push_read(vec![IoReq::new(8192, 4096)]);
+        assert_eq!(t.io_count(), 3);
+        assert_eq!(t.read_bytes(), 3 * 4096);
+        assert_eq!(t.hops(), 2);
+        assert_eq!(t.compute_count(), 10);
+        assert_eq!(t.pq_lookup_count(), 64);
+    }
+
+    #[test]
+    fn adjacent_compute_steps_merge() {
+        let mut t = QueryTrace::new();
+        t.push_compute(5, 768);
+        t.push_compute(7, 768);
+        assert_eq!(t.steps.len(), 1);
+        assert_eq!(t.compute_count(), 12);
+        t.push_compute(1, 1536);
+        assert_eq!(t.steps.len(), 2, "different dim must not merge");
+    }
+
+    #[test]
+    fn empty_pushes_are_ignored() {
+        let mut t = QueryTrace::new();
+        t.push_compute(0, 768);
+        t.push_pq_lookup(0, 8);
+        t.push_read(vec![]);
+        assert!(t.steps.is_empty());
+    }
+
+    #[test]
+    fn reads_do_not_merge() {
+        // Beams are dependency barriers; they must stay separate.
+        let mut t = QueryTrace::new();
+        t.push_read(vec![IoReq::new(0, 4096)]);
+        t.push_read(vec![IoReq::new(4096, 4096)]);
+        assert_eq!(t.steps.len(), 2);
+        assert_eq!(t.hops(), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Product quantization (Jégou, Douze & Schmid, TPAMI 2011).
+//!
+//! A vector of dimension `d` is split into `m` contiguous sub-vectors; each
+//! sub-vector is quantized to the nearest of `ksub` trained sub-centroids.
+//! The code is then `m` small integers (stored as bytes). Asymmetric distance
+//! computation (ADC) against a query uses one lookup table of
+//! `m × ksub` partial distances computed once per query.
+//!
+//! DiskANN keeps exactly this representation in memory to rank candidates
+//! while full-precision vectors stay on disk (§II-B of the paper).
+
+use crate::kmeans::KMeans;
+use sann_core::distance::l2_squared;
+use sann_core::{Dataset, Error, Result};
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    dim: usize,
+    m: usize,
+    ksub: usize,
+    sub_dim: usize,
+    /// `m` codebooks, each `ksub × sub_dim`, flattened.
+    codebooks: Vec<f32>,
+}
+
+impl ProductQuantizer {
+    /// Trains a quantizer with `m` sub-spaces of `ksub` centroids each.
+    ///
+    /// Typical configurations use `ksub = 256` so codes are exactly `m`
+    /// bytes; smaller `ksub` values train faster on small datasets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `m` does not divide the data
+    /// dimensionality, if `ksub` is 0 or > 256, or if there are fewer
+    /// training vectors than `ksub`.
+    pub fn train(data: &Dataset, m: usize, ksub: usize, seed: u64) -> Result<ProductQuantizer> {
+        let dim = data.dim();
+        if m == 0 || dim % m != 0 {
+            return Err(Error::invalid_parameter(
+                "m",
+                format!("{m} must be a positive divisor of dim {dim}"),
+            ));
+        }
+        if ksub == 0 || ksub > 256 {
+            return Err(Error::invalid_parameter("ksub", "must be in 1..=256"));
+        }
+        if data.len() < ksub {
+            return Err(Error::invalid_parameter(
+                "ksub",
+                format!("{ksub} sub-centroids need at least that many training vectors"),
+            ));
+        }
+        let sub_dim = dim / m;
+        let mut codebooks = Vec::with_capacity(m * ksub * sub_dim);
+        for sub in 0..m {
+            // Slice out the sub-vectors for this subspace.
+            let mut subdata = Dataset::with_dim(sub_dim);
+            for row in data.iter() {
+                subdata.push(&row[sub * sub_dim..(sub + 1) * sub_dim]).expect("same dim");
+            }
+            let model = KMeans::new(ksub)
+                .with_seed(seed.wrapping_add(sub as u64))
+                .with_sample_limit(50_000)
+                .with_max_iters(15)
+                .fit(&subdata)?;
+            codebooks.extend_from_slice(model.centroids.as_flat());
+        }
+        Ok(ProductQuantizer { dim, m, ksub, sub_dim, codebooks })
+    }
+
+    /// Dimensionality of input vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of sub-spaces (bytes per code).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of centroids per sub-space.
+    pub fn ksub(&self) -> usize {
+        self.ksub
+    }
+
+    /// Bytes of one encoded vector.
+    pub fn code_bytes(&self) -> usize {
+        self.m
+    }
+
+    fn codebook(&self, sub: usize) -> &[f32] {
+        let stride = self.ksub * self.sub_dim;
+        &self.codebooks[sub * stride..(sub + 1) * stride]
+    }
+
+    /// Encodes a vector to its `m`-byte code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim, "encode dimension mismatch");
+        let mut code = Vec::with_capacity(self.m);
+        for sub in 0..self.m {
+            let sv = &v[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+            let book = self.codebook(sub);
+            let mut best = 0u8;
+            let mut best_d = f32::INFINITY;
+            for c in 0..self.ksub {
+                let d = l2_squared(sv, &book[c * self.sub_dim..(c + 1) * self.sub_dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u8;
+                }
+            }
+            code.push(best);
+        }
+        code
+    }
+
+    /// Encodes every row of a dataset, returning a flat `n × m` code matrix.
+    /// Encoding is parallelized across all cores.
+    pub fn encode_all(&self, data: &Dataset) -> Vec<u8> {
+        let mut codes = vec![0u8; data.len() * self.m];
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk_rows = data.len().div_ceil(threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (t, out) in codes.chunks_mut(chunk_rows * self.m).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, slot) in out.chunks_mut(self.m).enumerate() {
+                        slot.copy_from_slice(&self.encode(data.row(t * chunk_rows + i)));
+                    }
+                });
+            }
+        })
+        .expect("PQ encode worker panicked");
+        codes
+    }
+
+    /// Reconstructs the approximate vector for a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != self.m()`.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.m, "decode length mismatch");
+        let mut v = Vec::with_capacity(self.dim);
+        for (sub, &c) in code.iter().enumerate() {
+            let book = self.codebook(sub);
+            v.extend_from_slice(&book[c as usize * self.sub_dim..(c as usize + 1) * self.sub_dim]);
+        }
+        v
+    }
+
+    /// Builds the ADC lookup table for a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dim()`.
+    pub fn distance_table(&self, query: &[f32]) -> DistanceTable {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut table = Vec::with_capacity(self.m * self.ksub);
+        for sub in 0..self.m {
+            let qv = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+            let book = self.codebook(sub);
+            for c in 0..self.ksub {
+                table.push(l2_squared(qv, &book[c * self.sub_dim..(c + 1) * self.sub_dim]));
+            }
+        }
+        DistanceTable { table, m: self.m, ksub: self.ksub }
+    }
+}
+
+/// Per-query ADC lookup table produced by
+/// [`ProductQuantizer::distance_table`].
+#[derive(Debug, Clone)]
+pub struct DistanceTable {
+    table: Vec<f32>,
+    m: usize,
+    ksub: usize,
+}
+
+impl DistanceTable {
+    /// Approximate squared L2 distance between the table's query and an
+    /// encoded vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `code.len()` differs from the quantizer's `m`.
+    #[inline]
+    pub fn distance(&self, code: &[u8]) -> f32 {
+        debug_assert_eq!(code.len(), self.m);
+        let mut d = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            d += self.table[sub * self.ksub + c as usize];
+        }
+        d
+    }
+
+    /// Distance of the `i`-th code in a flat code matrix.
+    #[inline]
+    pub fn distance_at(&self, codes: &[u8], i: usize) -> f32 {
+        self.distance(&codes[i * self.m..(i + 1) * self.m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_datagen::EmbeddingModel;
+
+    fn train_small() -> (Dataset, ProductQuantizer) {
+        let data = EmbeddingModel::new(32, 4, 11).generate(600);
+        let pq = ProductQuantizer::train(&data, 4, 16, 1).unwrap();
+        (data, pq)
+    }
+
+    #[test]
+    fn code_shape() {
+        let (data, pq) = train_small();
+        let code = pq.encode(data.row(0));
+        assert_eq!(code.len(), 4);
+        assert_eq!(pq.code_bytes(), 4);
+        assert!(code.iter().all(|&c| (c as usize) < pq.ksub()));
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded() {
+        let (data, pq) = train_small();
+        let mut total = 0.0f64;
+        for row in data.iter().take(100) {
+            let rec = pq.decode(&pq.encode(row));
+            total += l2_squared(row, &rec) as f64;
+        }
+        // Unit vectors; squared distance between random unit vectors is ~2.
+        let mse = total / 100.0;
+        assert!(mse < 0.5, "reconstruction MSE {mse} too large");
+    }
+
+    #[test]
+    fn adc_approximates_true_distance() {
+        let (data, pq) = train_small();
+        let q = data.row(0);
+        let table = pq.distance_table(q);
+        let mut err = 0.0f64;
+        for (i, row) in data.iter().enumerate().take(200) {
+            let true_d = l2_squared(q, row);
+            let approx = table.distance(&pq.encode(row));
+            err += (true_d - approx).abs() as f64;
+            let _ = i;
+        }
+        assert!(err / 200.0 < 0.5, "mean ADC error too large: {}", err / 200.0);
+    }
+
+    #[test]
+    fn adc_preserves_ranking_roughly() {
+        // The PQ-nearest of a query among 200 points should be within the
+        // true top-20 — that is the property DiskANN relies on.
+        let (data, pq) = train_small();
+        let codes = pq.encode_all(&data);
+        let q = data.row(7);
+        let table = pq.distance_table(q);
+        let pq_best = (0..200).min_by(|&a, &b| {
+            table.distance_at(&codes, a).total_cmp(&table.distance_at(&codes, b))
+        });
+        let mut true_dists: Vec<(f32, usize)> =
+            (0..200).map(|i| (l2_squared(q, data.row(i)), i)).collect();
+        true_dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let top20: Vec<usize> = true_dists.iter().take(20).map(|&(_, i)| i).collect();
+        assert!(top20.contains(&pq_best.unwrap()));
+    }
+
+    #[test]
+    fn rejects_bad_m() {
+        let data = EmbeddingModel::new(30, 2, 1).generate(100);
+        assert!(ProductQuantizer::train(&data, 4, 16, 1).is_err());
+        assert!(ProductQuantizer::train(&data, 0, 16, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_ksub() {
+        let data = EmbeddingModel::new(32, 2, 1).generate(100);
+        assert!(ProductQuantizer::train(&data, 4, 0, 1).is_err());
+        assert!(ProductQuantizer::train(&data, 4, 257, 1).is_err());
+        assert!(ProductQuantizer::train(&data, 4, 128, 1).is_err(), "too few training rows");
+    }
+
+    #[test]
+    fn encode_all_is_row_major() {
+        let (data, pq) = train_small();
+        let codes = pq.encode_all(&data);
+        assert_eq!(codes.len(), data.len() * pq.m());
+        assert_eq!(&codes[..pq.m()], pq.encode(data.row(0)).as_slice());
+    }
+}

@@ -1,0 +1,146 @@
+//! Scalar quantization: per-dimension affine mapping of `f32` to `u8`.
+//!
+//! This is the compression LanceDB applies to its HNSW index in the paper's
+//! setup ("HNSW index with scalar quantization", §III-C). Each dimension is
+//! independently mapped onto `[0, 255]` using the training min/max.
+
+use sann_core::{Dataset, Error, Result};
+
+/// A trained scalar quantizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarQuantizer {
+    min: Vec<f32>,
+    /// Per-dimension scale `(max - min) / 255`, zero for constant dimensions.
+    scale: Vec<f32>,
+}
+
+impl ScalarQuantizer {
+    /// Trains on `data` by recording per-dimension extrema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `data` has no rows.
+    pub fn train(data: &Dataset) -> Result<ScalarQuantizer> {
+        if data.is_empty() {
+            return Err(Error::Empty("dataset"));
+        }
+        let dim = data.dim();
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        for row in data.iter() {
+            for ((mn, mx), &x) in min.iter_mut().zip(max.iter_mut()).zip(row) {
+                *mn = mn.min(x);
+                *mx = mx.max(x);
+            }
+        }
+        let scale = min.iter().zip(&max).map(|(&mn, &mx)| (mx - mn) / 255.0).collect();
+        Ok(ScalarQuantizer { min, scale })
+    }
+
+    /// Dimensionality of input vectors.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Quantizes a vector to one byte per dimension. Values outside the
+    /// training range are clamped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim(), "encode dimension mismatch");
+        v.iter()
+            .zip(&self.min)
+            .zip(&self.scale)
+            .map(|((&x, &mn), &s)| {
+                if s == 0.0 {
+                    0
+                } else {
+                    (((x - mn) / s).round()).clamp(0.0, 255.0) as u8
+                }
+            })
+            .collect()
+    }
+
+    /// Reconstructs the approximate vector for a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != self.dim()`.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.dim(), "decode length mismatch");
+        code.iter()
+            .zip(&self.min)
+            .zip(&self.scale)
+            .map(|((&c, &mn), &s)| mn + c as f32 * s)
+            .collect()
+    }
+
+    /// Approximate squared L2 distance between a full-precision query and an
+    /// encoded vector (asymmetric: the query is not quantized).
+    pub fn distance(&self, query: &[f32], code: &[u8]) -> f32 {
+        let mut d = 0.0f32;
+        for ((&q, &c), (&mn, &s)) in
+            query.iter().zip(code).zip(self.min.iter().zip(&self.scale))
+        {
+            let x = mn + c as f32 * s;
+            let diff = q - x;
+            d += diff * diff;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_core::distance::l2_squared;
+    use sann_datagen::EmbeddingModel;
+
+    #[test]
+    fn round_trip_error_is_small() {
+        let data = EmbeddingModel::new(16, 2, 3).generate(200);
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        for row in data.iter().take(50) {
+            let rec = sq.decode(&sq.encode(row));
+            assert!(l2_squared(row, &rec) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_handled() {
+        let data = Dataset::from_rows(vec![vec![1.0, 5.0], vec![1.0, 7.0]]).unwrap();
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        let code = sq.encode(&[1.0, 6.0]);
+        let rec = sq.decode(&code);
+        assert_eq!(rec[0], 1.0);
+        assert!((rec[1] - 6.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let data = Dataset::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        assert_eq!(sq.encode(&[-5.0]), vec![0]);
+        assert_eq!(sq.encode(&[99.0]), vec![255]);
+    }
+
+    #[test]
+    fn asymmetric_distance_tracks_true_distance() {
+        let data = EmbeddingModel::new(16, 2, 4).generate(100);
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        let q = data.row(0);
+        for row in data.iter().take(30) {
+            let approx = sq.distance(q, &sq.encode(row));
+            let true_d = l2_squared(q, row);
+            assert!((approx - true_d).abs() < 0.05 * (true_d + 0.1));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_training_set() {
+        let data = Dataset::with_dim(4);
+        assert!(ScalarQuantizer::train(&data).is_err());
+    }
+}

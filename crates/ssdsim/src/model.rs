@@ -1,0 +1,290 @@
+//! The SSD service model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Parameters describing an SSD's performance envelope.
+///
+/// Times are microseconds; bandwidths are bytes per microsecond (= MB/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdModel {
+    /// Internal parallelism: number of independent flash units.
+    pub units: usize,
+    /// Media access latency per read request, µs (independent of size).
+    pub base_latency_us: f64,
+    /// Media program latency per write request, µs. NAND programs are
+    /// slower than reads even through the SLC cache; concurrent writes
+    /// therefore inflate read latency by occupying flash units longer
+    /// (the read-write interference the paper's §VIII points at).
+    pub write_latency_us: f64,
+    /// Shared-bus bandwidth, bytes/µs.
+    pub device_bw: f64,
+    /// Host CPU time consumed per I/O (submission + completion path), µs.
+    /// Charged by the execution engine to the submitting core.
+    pub submit_cpu_us: f64,
+}
+
+impl SsdModel {
+    /// A model calibrated to the paper's Samsung 990 Pro 4 TiB measurements:
+    ///
+    /// * peak 4 KiB random-read IOPS ≈ `units / base_latency_us` ≈ 1.33 M
+    ///   (paper: 1.3 M at QD 64),
+    /// * sequential 128 KiB bandwidth ≈ `device_bw` = 7,730 B/µs ≈ 7.2 GiB/s,
+    /// * single-core 4 KiB IOPS ≈ `1 / submit_cpu_us` ≈ 325 K (paper: 324.3 K,
+    ///   CPU-bound on the Linux storage stack),
+    /// * QD1 4 KiB latency ≈ `base_latency_us` + transfer ≈ 49 µs.
+    pub fn samsung_990_pro() -> SsdModel {
+        SsdModel {
+            units: 64,
+            base_latency_us: 48.0,
+            write_latency_us: 130.0,
+            device_bw: 7730.0,
+            submit_cpu_us: 3.08,
+        }
+    }
+
+    /// A slower SATA-class model (the paper's OS drive, Samsung MZ7L31T9);
+    /// useful for contrast experiments.
+    pub fn sata_ssd() -> SsdModel {
+        SsdModel {
+            units: 8,
+            base_latency_us: 90.0,
+            write_latency_us: 250.0,
+            device_bw: 550.0,
+            submit_cpu_us: 4.0,
+        }
+    }
+
+    /// Theoretical peak 4 KiB random-read IOPS of the model (media-limited).
+    pub fn peak_iops_4k(&self) -> f64 {
+        let media = self.units as f64 / self.base_latency_us;
+        let bus = self.device_bw / 4096.0;
+        media.min(bus) * 1e6
+    }
+
+    /// Theoretical peak sequential bandwidth in bytes/second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.device_bw * 1e6
+    }
+
+    /// Service time of one request in an otherwise idle device, µs.
+    pub fn idle_latency_us(&self, len: u32) -> f64 {
+        self.base_latency_us + len as f64 / self.device_bw
+    }
+}
+
+impl Default for SsdModel {
+    fn default() -> Self {
+        SsdModel::samsung_990_pro()
+    }
+}
+
+/// Applies an [`SsdModel`] to a stream of requests.
+///
+/// Requests must be scheduled in non-decreasing arrival order (the engine's
+/// event loop guarantees this). Each request:
+///
+/// 1. waits for the earliest-free flash unit (media stage,
+///    `base_latency_us`),
+/// 2. then transfers its payload over the shared bus in FIFO order
+///    (`len / device_bw`).
+///
+/// The returned completion time is when the data is in host memory.
+#[derive(Debug, Clone)]
+pub struct DeviceSim {
+    model: SsdModel,
+    /// Min-heap of unit free times (stored negated in a max-heap).
+    units: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Bus free time, in nanoseconds (integer for determinism).
+    bus_free_ns: u64,
+    /// Completed request count.
+    completed: u64,
+    /// Total bytes transferred.
+    bytes: u64,
+}
+
+const NS_PER_US: f64 = 1_000.0;
+
+impl DeviceSim {
+    /// Creates an idle device.
+    pub fn new(model: SsdModel) -> DeviceSim {
+        let mut units = BinaryHeap::with_capacity(model.units);
+        for _ in 0..model.units.max(1) {
+            units.push(std::cmp::Reverse(0));
+        }
+        DeviceSim { model, units, bus_free_ns: 0, completed: 0, bytes: 0 }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &SsdModel {
+        &self.model
+    }
+
+    /// Schedules a read arriving at `arrival_us`; returns its completion
+    /// time in µs.
+    pub fn schedule(&mut self, arrival_us: f64, len: u32) -> f64 {
+        self.schedule_op(arrival_us, len, self.model.base_latency_us)
+    }
+
+    /// Schedules a write arriving at `arrival_us`; returns its completion
+    /// time in µs. Writes share the flash units and the bus with reads, so
+    /// mixed workloads interfere.
+    pub fn schedule_write(&mut self, arrival_us: f64, len: u32) -> f64 {
+        self.schedule_op(arrival_us, len, self.model.write_latency_us)
+    }
+
+    fn schedule_op(&mut self, arrival_us: f64, len: u32, media_us: f64) -> f64 {
+        let arrival_ns = (arrival_us * NS_PER_US).round().max(0.0) as u64;
+        // Media stage on the earliest-free unit.
+        let std::cmp::Reverse(unit_free) = self.units.pop().expect("at least one unit");
+        let media_start = arrival_ns.max(unit_free);
+        let media_done = media_start + (media_us * NS_PER_US) as u64;
+        self.units.push(std::cmp::Reverse(media_done));
+        // Bus stage, FIFO.
+        let transfer_ns = (len as f64 / self.model.device_bw * NS_PER_US).ceil() as u64;
+        let bus_start = media_done.max(self.bus_free_ns);
+        let done = bus_start + transfer_ns;
+        self.bus_free_ns = done;
+        self.completed += 1;
+        self.bytes += len as u64;
+        done as f64 / NS_PER_US
+    }
+
+    /// Number of requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total bytes transferred so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Resets the device to idle (keeps the model).
+    pub fn reset(&mut self) {
+        *self = DeviceSim::new(self.model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_paper_envelope() {
+        let m = SsdModel::samsung_990_pro();
+        let iops = m.peak_iops_4k();
+        assert!((1.25e6..1.45e6).contains(&iops), "peak IOPS {iops}");
+        let bw_gib = m.peak_bandwidth() / (1 << 30) as f64;
+        assert!((7.0..7.4).contains(&bw_gib), "peak bandwidth {bw_gib} GiB/s");
+        let lat = m.idle_latency_us(4096);
+        assert!((40.0..80.0).contains(&lat), "QD1 latency {lat}");
+        let single_core_iops = 1e6 / m.submit_cpu_us;
+        assert!((300e3..350e3).contains(&single_core_iops));
+    }
+
+    #[test]
+    fn qd1_latency_matches_idle_model() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        let done = dev.schedule(100.0, 4096);
+        assert!((done - 100.0 - m.idle_latency_us(4096)).abs() < 0.01);
+    }
+
+    #[test]
+    fn parallel_requests_overlap_on_units() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        // 64 concurrent 4 KiB requests: all fit in the units, so they finish
+        // within ~one media latency of each other (bus transfer is fast).
+        let mut last = 0.0f64;
+        for _ in 0..64 {
+            last = last.max(dev.schedule(0.0, 4096));
+        }
+        assert!(last < m.base_latency_us * 2.0, "64 parallel reads took {last} µs");
+    }
+
+    #[test]
+    fn excess_requests_queue() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        let mut last = 0.0f64;
+        for _ in 0..128 {
+            last = last.max(dev.schedule(0.0, 4096));
+        }
+        // Second wave waits one extra media latency.
+        assert!(last >= m.base_latency_us * 2.0);
+        assert_eq!(dev.completed(), 128);
+        assert_eq!(dev.bytes(), 128 * 4096);
+    }
+
+    #[test]
+    fn bus_serializes_large_transfers() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        // 32 concurrent 128 KiB reads: media overlaps, bus serializes.
+        let n = 32u32;
+        let mut last = 0.0f64;
+        for _ in 0..n {
+            last = last.max(dev.schedule(0.0, 128 * 1024));
+        }
+        let total_bytes = (n as f64) * 128.0 * 1024.0;
+        let achieved_bw = total_bytes / last; // bytes per µs
+        assert!(
+            achieved_bw <= m.device_bw * 1.01,
+            "achieved {achieved_bw} exceeds bus {}",
+            m.device_bw
+        );
+        assert!(achieved_bw > m.device_bw * 0.8, "bus underutilized: {achieved_bw}");
+    }
+
+    #[test]
+    fn sustained_random_iops_approaches_peak() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        // Closed feedback: keep 64 in flight for a simulated 100 ms.
+        let mut completions: Vec<f64> = (0..64).map(|_| dev.schedule(0.0, 4096)).collect();
+        let horizon = 100_000.0;
+        let mut done = 0u64;
+        loop {
+            // Find earliest completion and immediately resubmit.
+            let (i, &t) =
+                completions.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+            if t > horizon {
+                break;
+            }
+            done += 1;
+            completions[i] = dev.schedule(t, 4096);
+        }
+        let iops = done as f64 / (horizon / 1e6);
+        assert!(iops > 0.85 * m.peak_iops_4k(), "sustained IOPS {iops}");
+    }
+
+    #[test]
+    fn writes_are_slower_and_interfere_with_reads() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        let write_done = dev.schedule_write(0.0, 4096);
+        assert!(write_done > m.base_latency_us, "writes cost more than reads");
+        // Saturate the units with writes, then a read queues behind them.
+        let mut dev = DeviceSim::new(m);
+        for _ in 0..m.units {
+            dev.schedule_write(0.0, 4096);
+        }
+        let read_done = dev.schedule(0.0, 4096);
+        assert!(
+            read_done > m.write_latency_us,
+            "read {read_done} must wait for a unit busy writing"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut dev = DeviceSim::new(SsdModel::samsung_990_pro());
+        dev.schedule(0.0, 4096);
+        dev.reset();
+        assert_eq!(dev.completed(), 0);
+        let done = dev.schedule(0.0, 4096);
+        assert!(done < 100.0);
+    }
+}

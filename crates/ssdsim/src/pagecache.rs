@@ -1,0 +1,155 @@
+//! An LRU page cache over 4 KiB pages — the OS page cache the paper flushes
+//! (`sync; echo 1 > /proc/sys/vm/drop_caches`) before each run (§III-B).
+
+use std::collections::HashMap;
+
+/// Page size (matches the device sector and the x86 page).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A fixed-capacity LRU cache of device pages.
+///
+/// The cache answers, per request, which of its pages hit and which must be
+/// fetched from the device; the execution engine only sends misses to the
+/// [`crate::DeviceSim`].
+#[derive(Debug)]
+pub struct PageCache {
+    capacity_pages: usize,
+    /// page id -> LRU stamp.
+    pages: HashMap<u64, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    /// Creates a cache with room for `capacity_bytes / 4096` pages. A
+    /// capacity of zero disables caching (everything misses), which models
+    /// direct I/O.
+    pub fn new(capacity_bytes: u64) -> PageCache {
+        PageCache {
+            capacity_pages: (capacity_bytes / PAGE_BYTES) as usize,
+            pages: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses a byte range; returns the number of pages that missed (and
+    /// were inserted). `0` means the whole range was cached.
+    pub fn access(&mut self, offset: u64, len: u32) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = offset / PAGE_BYTES;
+        let last = (offset + len as u64 - 1) / PAGE_BYTES;
+        let mut missed = 0;
+        for page in first..=last {
+            self.clock += 1;
+            if self.capacity_pages == 0 {
+                self.misses += 1;
+                missed += 1;
+                continue;
+            }
+            if let Some(stamp) = self.pages.get_mut(&page) {
+                *stamp = self.clock;
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+                missed += 1;
+                if self.pages.len() >= self.capacity_pages {
+                    // Evict the least recently used page.
+                    if let Some((&victim, _)) = self.pages.iter().min_by_key(|(_, &s)| s) {
+                        self.pages.remove(&victim);
+                    }
+                }
+                self.pages.insert(page, self.clock);
+            }
+        }
+        missed
+    }
+
+    /// Number of pages currently cached.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the cache holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Cache hits so far (page granularity).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (page granularity).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached page — the paper's
+    /// `echo 1 > /proc/sys/vm/drop_caches` between runs. Counters survive.
+    pub fn drop_caches(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = PageCache::new(1 << 20);
+        assert_eq!(c.access(0, 4096), 1);
+        assert_eq!(c.access(0, 4096), 0);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn range_spanning_pages_counts_each_page() {
+        let mut c = PageCache::new(1 << 20);
+        // 10 KiB starting mid-page touches pages 0,1,2.
+        assert_eq!(c.access(2048, 10 * 1024), 3);
+        assert_eq!(c.access(0, 4096), 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = PageCache::new(2 * 4096);
+        c.access(0, 4096); // page 0
+        c.access(4096, 4096); // page 1
+        c.access(0, 4096); // touch page 0 (now MRU)
+        c.access(8192, 4096); // page 2 evicts page 1
+        assert_eq!(c.access(0, 4096), 0, "page 0 must survive");
+        assert_eq!(c.access(4096, 4096), 1, "page 1 was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PageCache::new(0);
+        assert_eq!(c.access(0, 4096), 1);
+        assert_eq!(c.access(0, 4096), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drop_caches_flushes() {
+        let mut c = PageCache::new(1 << 20);
+        c.access(0, 4096);
+        assert_eq!(c.len(), 1);
+        c.drop_caches();
+        assert!(c.is_empty());
+        assert_eq!(c.access(0, 4096), 1, "re-access misses after flush");
+    }
+
+    #[test]
+    fn zero_length_access_is_noop() {
+        let mut c = PageCache::new(1 << 20);
+        assert_eq!(c.access(123, 0), 0);
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+}

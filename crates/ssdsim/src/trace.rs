@@ -1,0 +1,237 @@
+//! Block-layer I/O tracing — the simulator's analog of the paper's bpftrace
+//! probe on `block_rq_issue` (§III-A): for every request issued to the
+//! device it records the timestamp, operation, offset, and size.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Type of a block request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    /// Block read.
+    Read,
+    /// Block write.
+    Write,
+}
+
+/// One traced block request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoEvent {
+    /// Issue timestamp, µs since experiment start.
+    pub time_us: f64,
+    /// Operation type.
+    pub op: IoOp,
+    /// Device byte offset.
+    pub offset: u64,
+    /// Request size in bytes.
+    pub len: u32,
+}
+
+/// Collects [`IoEvent`]s and derives the paper's I/O statistics.
+#[derive(Debug, Clone, Default)]
+pub struct IoTracer {
+    events: Vec<IoEvent>,
+}
+
+impl IoTracer {
+    /// Creates an empty tracer.
+    pub fn new() -> IoTracer {
+        IoTracer::default()
+    }
+
+    /// Records a read issue.
+    pub fn record_read(&mut self, time_us: f64, offset: u64, len: u32) {
+        self.events.push(IoEvent { time_us, op: IoOp::Read, offset, len });
+    }
+
+    /// Records a write issue.
+    pub fn record_write(&mut self, time_us: f64, offset: u64, len: u32) {
+        self.events.push(IoEvent { time_us, op: IoOp::Write, offset, len });
+    }
+
+    /// All events in issue order.
+    pub fn events(&self) -> &[IoEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Derives summary statistics.
+    pub fn stats(&self) -> IoStats {
+        let mut size_histogram = BTreeMap::new();
+        let mut read_bytes = 0u64;
+        let mut write_bytes = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for e in &self.events {
+            *size_histogram.entry(e.len).or_insert(0u64) += 1;
+            match e.op {
+                IoOp::Read => {
+                    reads += 1;
+                    read_bytes += e.len as u64;
+                }
+                IoOp::Write => {
+                    writes += 1;
+                    write_bytes += e.len as u64;
+                }
+            }
+        }
+        IoStats { reads, writes, read_bytes, write_bytes, size_histogram }
+    }
+
+    /// Per-second read bandwidth series in MiB/s — the series plotted in the
+    /// paper's Fig. 5. `duration_us` fixes the number of buckets (a trailing
+    /// partial second is scaled by its actual width).
+    pub fn bandwidth_timeline(&self, duration_us: f64) -> Vec<f64> {
+        if duration_us <= 0.0 {
+            return Vec::new();
+        }
+        let n_buckets = (duration_us / 1e6).ceil() as usize;
+        let mut bytes = vec![0u64; n_buckets];
+        for e in &self.events {
+            if e.op != IoOp::Read || e.time_us < 0.0 || e.time_us >= duration_us {
+                continue;
+            }
+            bytes[(e.time_us / 1e6) as usize] += e.len as u64;
+        }
+        bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let width_us = if i + 1 == n_buckets {
+                    duration_us - i as f64 * 1e6
+                } else {
+                    1e6
+                };
+                b as f64 / (1 << 20) as f64 / (width_us / 1e6)
+            })
+            .collect()
+    }
+
+    /// Mean read bandwidth in MiB/s over `duration_us`.
+    pub fn mean_read_bandwidth(&self, duration_us: f64) -> f64 {
+        if duration_us <= 0.0 {
+            return 0.0;
+        }
+        let bytes: u64 =
+            self.events.iter().filter(|e| e.op == IoOp::Read).map(|e| e.len as u64).sum();
+        bytes as f64 / (1 << 20) as f64 / (duration_us / 1e6)
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Total bytes read.
+    pub read_bytes: u64,
+    /// Total bytes written.
+    pub write_bytes: u64,
+    /// Request-size histogram (size → count), both ops combined.
+    pub size_histogram: BTreeMap<u32, u64>,
+}
+
+impl IoStats {
+    /// Fraction of requests with size exactly `len` (the paper's O-15 checks
+    /// this for 4 KiB).
+    pub fn size_fraction(&self, len: u32) -> f64 {
+        let total: u64 = self.size_histogram.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.size_histogram.get(&len).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tracer() -> IoTracer {
+        let mut t = IoTracer::new();
+        t.record_read(100.0, 0, 4096);
+        t.record_read(1_500_000.0, 4096, 4096);
+        t.record_read(1_600_000.0, 8192, 8192);
+        t.record_write(2_000_000.0, 0, 4096);
+        t
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let stats = sample_tracer().stats();
+        assert_eq!(stats.reads, 3);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.read_bytes, 4096 + 4096 + 8192);
+        assert_eq!(stats.write_bytes, 4096);
+        assert_eq!(stats.size_histogram[&4096], 3);
+        assert_eq!(stats.size_histogram[&8192], 1);
+    }
+
+    #[test]
+    fn size_fraction_matches() {
+        let stats = sample_tracer().stats();
+        assert!((stats.size_fraction(4096) - 0.75).abs() < 1e-12);
+        assert_eq!(stats.size_fraction(1234), 0.0);
+    }
+
+    #[test]
+    fn timeline_buckets_by_second() {
+        let t = sample_tracer();
+        let tl = t.bandwidth_timeline(3e6);
+        assert_eq!(tl.len(), 3);
+        assert!((tl[0] - 4096.0 / (1 << 20) as f64).abs() < 1e-9);
+        assert!((tl[1] - (4096.0 + 8192.0) / (1 << 20) as f64).abs() < 1e-9);
+        assert_eq!(tl[2], 0.0, "writes are excluded from read bandwidth");
+    }
+
+    #[test]
+    fn timeline_partial_last_bucket_scales() {
+        let mut t = IoTracer::new();
+        t.record_read(0.0, 0, 1 << 20); // 1 MiB in the first half-second
+        let tl = t.bandwidth_timeline(0.5e6);
+        assert_eq!(tl.len(), 1);
+        assert!((tl[0] - 2.0).abs() < 1e-9, "1 MiB in 0.5 s = 2 MiB/s, got {}", tl[0]);
+    }
+
+    #[test]
+    fn mean_bandwidth() {
+        let t = sample_tracer();
+        let mean = t.mean_read_bandwidth(2e6);
+        let expect = (4096.0 + 4096.0 + 8192.0) / (1 << 20) as f64 / 2.0;
+        assert!((mean - expect).abs() < 1e-9);
+        assert_eq!(t.mean_read_bandwidth(0.0), 0.0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = sample_tracer();
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn out_of_window_events_are_ignored_by_timeline() {
+        let mut t = IoTracer::new();
+        t.record_read(5e6, 0, 4096);
+        let tl = t.bandwidth_timeline(1e6);
+        assert_eq!(tl, vec![0.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The database facade: named collections with persistence.
+
+use crate::collection::Collection;
+use crate::snapshot;
+use sann_core::{Error, Metric, Result};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A single-node vector database: a set of named [`Collection`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sann_vdb::VectorDb;
+/// use sann_core::Metric;
+///
+/// let mut db = VectorDb::new();
+/// db.create_collection("docs", 8, Metric::L2)?;
+/// db.collection_mut("docs")?.insert(&[0.0; 8], Default::default())?;
+/// assert_eq!(db.collection("docs")?.len(), 1);
+/// # Ok::<(), sann_core::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct VectorDb {
+    collections: BTreeMap<String, Collection>,
+}
+
+impl VectorDb {
+    /// Creates an empty database.
+    pub fn new() -> VectorDb {
+        VectorDb::default()
+    }
+
+    /// Creates a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AlreadyExists`] for duplicate names and propagates
+    /// collection construction errors.
+    pub fn create_collection(
+        &mut self,
+        name: impl Into<String>,
+        dim: usize,
+        metric: Metric,
+    ) -> Result<&mut Collection> {
+        let name = name.into();
+        if self.collections.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("collection {name}")));
+        }
+        let collection = Collection::new(name.clone(), dim, metric)?;
+        Ok(self.collections.entry(name).or_insert(collection))
+    }
+
+    /// Adds an already-built collection (e.g. loaded from a snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AlreadyExists`] for duplicate names.
+    pub fn add_collection(&mut self, collection: Collection) -> Result<()> {
+        if self.collections.contains_key(collection.name()) {
+            return Err(Error::AlreadyExists(format!("collection {}", collection.name())));
+        }
+        self.collections.insert(collection.name().to_owned(), collection);
+        Ok(())
+    }
+
+    /// Drops a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for unknown names.
+    pub fn drop_collection(&mut self, name: &str) -> Result<Collection> {
+        self.collections
+            .remove(name)
+            .ok_or_else(|| Error::NotFound(format!("collection {name}")))
+    }
+
+    /// Borrows a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for unknown names.
+    pub fn collection(&self, name: &str) -> Result<&Collection> {
+        self.collections.get(name).ok_or_else(|| Error::NotFound(format!("collection {name}")))
+    }
+
+    /// Mutably borrows a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for unknown names.
+    pub fn collection_mut(&mut self, name: &str) -> Result<&mut Collection> {
+        self.collections
+            .get_mut(name)
+            .ok_or_else(|| Error::NotFound(format!("collection {name}")))
+    }
+
+    /// Collection names in sorted order.
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    /// Number of collections.
+    pub fn len(&self) -> usize {
+        self.collections.len()
+    }
+
+    /// Whether the database has no collections.
+    pub fn is_empty(&self) -> bool {
+        self.collections.is_empty()
+    }
+
+    /// Persists every collection as `<dir>/<name>.sann`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (name, collection) in &self.collections {
+            snapshot::save(collection, dir.join(format!("{name}.sann")))?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `*.sann` snapshot in a directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and corruption errors.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<VectorDb> {
+        let mut db = VectorDb::new();
+        for entry in std::fs::read_dir(dir.as_ref())? {
+            let path = entry?.path();
+            if path.extension().map(|e| e == "sann").unwrap_or(false) {
+                db.add_collection(snapshot::load(&path)?)?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_drop() {
+        let mut db = VectorDb::new();
+        db.create_collection("a", 4, Metric::L2).unwrap();
+        assert!(db.create_collection("a", 4, Metric::L2).is_err());
+        assert_eq!(db.collection_names(), vec!["a"]);
+        assert!(db.collection("b").is_err());
+        db.drop_collection("a").unwrap();
+        assert!(db.is_empty());
+        assert!(db.drop_collection("a").is_err());
+    }
+
+    #[test]
+    fn save_and_load_directory() {
+        let mut db = VectorDb::new();
+        db.create_collection("x", 2, Metric::L2).unwrap();
+        db.collection_mut("x").unwrap().insert(&[1.0, 2.0], Default::default()).unwrap();
+        db.create_collection("y", 3, Metric::Cosine).unwrap();
+        db.collection_mut("y").unwrap().insert(&[1.0, 2.0, 3.0], Default::default()).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("sann-db-test-{}", std::process::id()));
+        db.save_dir(&dir).unwrap();
+        let loaded = VectorDb::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.collection("x").unwrap().len(), 1);
+        assert_eq!(loaded.collection("y").unwrap().metric(), Metric::Cosine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

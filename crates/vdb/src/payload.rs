@@ -1,0 +1,202 @@
+//! Payloads (per-vector auxiliary data) and payload filters.
+
+use std::collections::BTreeMap;
+
+/// A scalar payload value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// UTF-8 string.
+    Str(String),
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view (ints widen to f64); `None` for strings/bools.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+/// Auxiliary data attached to one vector (field → value).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Payload {
+    fields: BTreeMap<String, Value>,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn new() -> Payload {
+        Payload::default()
+    }
+
+    /// Builder-style field insertion.
+    pub fn with(mut self, field: impl Into<String>, value: impl Into<Value>) -> Payload {
+        self.fields.insert(field.into(), value.into());
+        self
+    }
+
+    /// Sets a field.
+    pub fn set(&mut self, field: impl Into<String>, value: impl Into<Value>) {
+        self.fields.insert(field.into(), value.into());
+    }
+
+    /// Reads a field.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.fields.get(field)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the payload has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates fields in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// A predicate over payloads, used for filtered search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Field equals value.
+    Eq(String, Value),
+    /// Numeric field within `[min, max]` (inclusive).
+    Range {
+        /// Field name.
+        field: String,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+    /// All sub-filters match.
+    And(Vec<Filter>),
+    /// Any sub-filter matches.
+    Or(Vec<Filter>),
+    /// The sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Equality filter.
+    pub fn eq(field: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Eq(field.into(), value.into())
+    }
+
+    /// Inclusive numeric range filter.
+    pub fn range(field: impl Into<String>, min: f64, max: f64) -> Filter {
+        Filter::Range { field: field.into(), min, max }
+    }
+
+    /// Evaluates the filter against a payload. Missing fields never match
+    /// (and make `Not` match).
+    pub fn matches(&self, payload: &Payload) -> bool {
+        match self {
+            Filter::Eq(field, value) => payload.get(field) == Some(value),
+            Filter::Range { field, min, max } => payload
+                .get(field)
+                .and_then(Value::as_f64)
+                .map(|x| x >= *min && x <= *max)
+                .unwrap_or(false),
+            Filter::And(subs) => subs.iter().all(|f| f.matches(payload)),
+            Filter::Or(subs) => subs.iter().any(|f| f.matches(payload)),
+            Filter::Not(sub) => !sub.matches(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Payload {
+        Payload::new().with("lang", "en").with("year", 2024i64).with("score", 0.7).with("hot", true)
+    }
+
+    #[test]
+    fn eq_matches_exact_type_and_value() {
+        assert!(Filter::eq("lang", "en").matches(&doc()));
+        assert!(!Filter::eq("lang", "de").matches(&doc()));
+        assert!(!Filter::eq("missing", "x").matches(&doc()));
+        // Int 2024 != Float 2024.0 (typed equality).
+        assert!(!Filter::eq("year", 2024.0).matches(&doc()));
+    }
+
+    #[test]
+    fn range_covers_ints_and_floats() {
+        assert!(Filter::range("year", 2020.0, 2030.0).matches(&doc()));
+        assert!(Filter::range("score", 0.5, 0.9).matches(&doc()));
+        assert!(!Filter::range("score", 0.8, 0.9).matches(&doc()));
+        assert!(!Filter::range("lang", 0.0, 1.0).matches(&doc()), "strings are not numeric");
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let f = Filter::And(vec![
+            Filter::eq("lang", "en"),
+            Filter::Or(vec![Filter::eq("hot", true), Filter::range("year", 0.0, 1.0)]),
+        ]);
+        assert!(f.matches(&doc()));
+        let not = Filter::Not(Box::new(Filter::eq("lang", "en")));
+        assert!(!not.matches(&doc()));
+        assert!(Filter::Not(Box::new(Filter::eq("missing", 1i64))).matches(&doc()));
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let mut p = doc();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        p.set("year", 2025i64);
+        assert_eq!(p.get("year"), Some(&Value::Int(2025)));
+        let names: Vec<&str> = p.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["hot", "lang", "score", "year"], "sorted field order");
+    }
+
+    #[test]
+    fn value_as_f64() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+}

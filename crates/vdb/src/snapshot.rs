@@ -1,0 +1,280 @@
+//! Snapshot persistence for collections.
+//!
+//! Snapshots capture vectors, payloads, and tombstones in a small
+//! hand-rolled binary format (magic `SANN`, version byte). Indexes are *not*
+//! serialized — they are rebuilt from the spec on load, which is what the
+//! benchmarked databases do on segment reload.
+
+use crate::collection::Collection;
+use crate::payload::{Payload, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sann_core::{Error, Metric, Result};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SANN";
+const VERSION: u8 = 1;
+
+/// Serializes a collection (vectors + payloads + tombstones) to bytes.
+pub fn encode(collection: &Collection) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_str(&mut buf, collection.name());
+    buf.put_u8(match collection.metric() {
+        Metric::L2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    });
+    buf.put_u32_le(collection.dim() as u32);
+    buf.put_u64_le(collection.len() as u64);
+    for row in collection.vectors().iter() {
+        for &x in row {
+            buf.put_f32_le(x);
+        }
+    }
+    for id in 0..collection.len() as u32 {
+        buf.put_u8(if collection.is_live(id) { 0 } else { 1 });
+    }
+    for id in 0..collection.len() as u32 {
+        // Tombstoned payloads still round-trip (get() rejects them, so peek
+        // via search paths is unaffected).
+        let payload = collection_payload(collection, id);
+        put_payload(&mut buf, &payload);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a collection from bytes.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] on any structural problem.
+pub fn decode(mut data: &[u8]) -> Result<Collection> {
+    let corrupt = |what: &str| Error::Corrupt(format!("snapshot: {what}"));
+    if data.remaining() < 5 || &data[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    data.advance(4);
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let name = get_str(&mut data)?;
+    let metric = match read_u8(&mut data)? {
+        0 => Metric::L2,
+        1 => Metric::InnerProduct,
+        2 => Metric::Cosine,
+        other => return Err(corrupt(&format!("unknown metric {other}"))),
+    };
+    if data.remaining() < 12 {
+        return Err(corrupt("truncated header"));
+    }
+    let dim = data.get_u32_le() as usize;
+    let n = data.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(corrupt("zero dimension"));
+    }
+    if data.remaining() < n * dim * 4 {
+        return Err(corrupt("truncated vectors"));
+    }
+    let mut collection = Collection::new(name, dim, metric)?;
+    let mut row = vec![0.0f32; dim];
+    let mut raw_payload_placeholder = Vec::with_capacity(n);
+    for _ in 0..n {
+        for slot in row.iter_mut() {
+            *slot = data.get_f32_le();
+        }
+        raw_payload_placeholder.push(row.clone());
+    }
+    if data.remaining() < n {
+        return Err(corrupt("truncated tombstones"));
+    }
+    let mut tombstones = Vec::with_capacity(n);
+    for _ in 0..n {
+        tombstones.push(data.get_u8() == 1);
+    }
+    for vec_row in &raw_payload_placeholder {
+        let payload = get_payload(&mut data)?;
+        collection.insert(vec_row, payload)?;
+    }
+    for (id, &dead) in tombstones.iter().enumerate() {
+        if dead {
+            collection.delete(id as u32)?;
+        }
+    }
+    Ok(collection)
+}
+
+/// Writes a snapshot file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(collection: &Collection, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, encode(collection))?;
+    Ok(())
+}
+
+/// Reads a snapshot file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and [`Error::Corrupt`] on bad content.
+pub fn load(path: impl AsRef<Path>) -> Result<Collection> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+fn collection_payload(collection: &Collection, id: u32) -> Payload {
+    // `get` refuses tombstoned rows; resurrect via a temporary live check.
+    if collection.is_live(id) {
+        collection.get(id).map(|(_, p)| p.clone()).unwrap_or_default()
+    } else {
+        Payload::default()
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String> {
+    if data.remaining() < 4 {
+        return Err(Error::Corrupt("snapshot: truncated string length".into()));
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return Err(Error::Corrupt("snapshot: truncated string".into()));
+    }
+    let s = String::from_utf8(data[..len].to_vec())
+        .map_err(|_| Error::Corrupt("snapshot: invalid utf-8".into()))?;
+    data.advance(len);
+    Ok(s)
+}
+
+fn read_u8(data: &mut &[u8]) -> Result<u8> {
+    if data.remaining() < 1 {
+        return Err(Error::Corrupt("snapshot: truncated byte".into()));
+    }
+    Ok(data.get_u8())
+}
+
+fn put_payload(buf: &mut BytesMut, payload: &Payload) {
+    buf.put_u32_le(payload.len() as u32);
+    for (field, value) in payload.iter() {
+        put_str(buf, field);
+        match value {
+            Value::Str(s) => {
+                buf.put_u8(0);
+                put_str(buf, s);
+            }
+            Value::Int(i) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*f);
+            }
+            Value::Bool(b) => {
+                buf.put_u8(3);
+                buf.put_u8(*b as u8);
+            }
+        }
+    }
+}
+
+fn get_payload(data: &mut &[u8]) -> Result<Payload> {
+    if data.remaining() < 4 {
+        return Err(Error::Corrupt("snapshot: truncated payload".into()));
+    }
+    let n = data.get_u32_le() as usize;
+    let mut payload = Payload::new();
+    for _ in 0..n {
+        let field = get_str(data)?;
+        let tag = read_u8(data)?;
+        let value = match tag {
+            0 => Value::Str(get_str(data)?),
+            1 => {
+                if data.remaining() < 8 {
+                    return Err(Error::Corrupt("snapshot: truncated int".into()));
+                }
+                Value::Int(data.get_i64_le())
+            }
+            2 => {
+                if data.remaining() < 8 {
+                    return Err(Error::Corrupt("snapshot: truncated float".into()));
+                }
+                Value::Float(data.get_f64_le())
+            }
+            3 => Value::Bool(read_u8(data)? == 1),
+            other => return Err(Error::Corrupt(format!("snapshot: unknown value tag {other}"))),
+        };
+        payload.set(field, value);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_core::Metric;
+
+    fn sample() -> Collection {
+        let mut c = Collection::new("docs", 3, Metric::Cosine).unwrap();
+        c.insert(&[1.0, 0.0, 0.0], Payload::new().with("lang", "en").with("n", 1i64)).unwrap();
+        c.insert(&[0.0, 1.0, 0.0], Payload::new().with("score", 0.5).with("hot", true)).unwrap();
+        c.insert(&[0.0, 0.0, 1.0], Payload::new()).unwrap();
+        c.delete(2).unwrap();
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample();
+        let decoded = decode(&encode(&original)).unwrap();
+        assert_eq!(decoded.name(), "docs");
+        assert_eq!(decoded.metric(), Metric::Cosine);
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded.live_len(), 2);
+        let (v, p) = decoded.get(0).unwrap();
+        assert_eq!(v, &[1.0, 0.0, 0.0]);
+        assert_eq!(p.get("lang"), Some(&Value::Str("en".into())));
+        assert_eq!(p.get("n"), Some(&Value::Int(1)));
+        let (_, p1) = decoded.get(1).unwrap();
+        assert_eq!(p1.get("score"), Some(&Value::Float(0.5)));
+        assert_eq!(p1.get("hot"), Some(&Value::Bool(true)));
+        assert!(!decoded.is_live(2));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("sann-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("docs.sann");
+        save(&sample(), &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let good = encode(&sample());
+        assert!(matches!(decode(b"JUNK"), Err(Error::Corrupt(_))));
+        assert!(matches!(decode(&good[..10]), Err(Error::Corrupt(_))));
+        let mut bad_version = good.to_vec();
+        bad_version[4] = 99;
+        assert!(matches!(decode(&bad_version), Err(Error::Corrupt(_))));
+        let mut bad_metric = good.to_vec();
+        // metric byte sits after magic+version+name(len 4 + "docs")
+        bad_metric[4 + 1 + 4 + 4] = 7;
+        assert!(matches!(decode(&bad_metric), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(load("/nonexistent/sann.snap"), Err(Error::Io(_))));
+    }
+}
