@@ -4,7 +4,7 @@
 //! maintenance) per search; the latency effect of batching shows up in the
 //! vdbbench fig12–fig15 harness, which adds the device model.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_core::Metric;
 use sann_datagen::EmbeddingModel;
 use sann_index::{DiskAnnConfig, DiskAnnIndex, SearchParams, VamanaConfig, VectorIndex};
@@ -17,7 +17,10 @@ fn bench_beam_width(c: &mut Criterion) {
         &base,
         Metric::L2,
         DiskAnnConfig {
-            graph: VamanaConfig { r: 32, ..VamanaConfig::default() },
+            graph: VamanaConfig {
+                r: 32,
+                ..VamanaConfig::default()
+            },
             ..DiskAnnConfig::default()
         },
     )
@@ -25,7 +28,9 @@ fn bench_beam_width(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("diskann_beam");
     for w in [1usize, 2, 4, 8, 16] {
-        let params = SearchParams::default().with_search_list(100).with_beam_width(w);
+        let params = SearchParams::default()
+            .with_search_list(100)
+            .with_beam_width(w);
         let mut qi = 0usize;
         group.bench_function(format!("search_l100/w{w}"), |b| {
             b.iter(|| {

@@ -2,7 +2,7 @@
 //! relative-neighborhood graph. α > 1 keeps long-range edges, which should
 //! shorten search (fewer distance evaluations to converge) at equal recall.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_core::Metric;
 use sann_datagen::EmbeddingModel;
 use sann_index::{VamanaConfig, VamanaGraph};
@@ -17,7 +17,11 @@ fn bench_alpha(c: &mut Criterion) {
         let graph = VamanaGraph::build(
             &base,
             Metric::L2,
-            VamanaConfig { alpha, r: 32, ..VamanaConfig::default() },
+            VamanaConfig {
+                alpha,
+                r: 32,
+                ..VamanaConfig::default()
+            },
         )
         .expect("graph builds");
         let mut qi = 0usize;
@@ -42,7 +46,11 @@ fn bench_build(c: &mut Criterion) {
                     VamanaGraph::build(
                         &base,
                         Metric::L2,
-                        VamanaConfig { alpha, r: 32, ..VamanaConfig::default() },
+                        VamanaConfig {
+                            alpha,
+                            r: 32,
+                            ..VamanaConfig::default()
+                        },
                     )
                     .expect("graph builds"),
                 )

@@ -3,7 +3,7 @@
 //! engine's [`sann_engine::CostModel`]; the measured numbers justify its
 //! `dist_us_per_dim` default.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_core::distance::{cosine_distance, dot, l2_squared};
 use sann_core::rng::SplitMix64;
 

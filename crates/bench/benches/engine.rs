@@ -2,7 +2,7 @@
 //! DESIGN.md §4 ablation for the trace-replay design) and end-to-end
 //! simulated-run cost at low and high concurrency.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_engine::{Executor, QueryPlan, RunConfig, Segment};
 use sann_index::IoReq;
 
@@ -41,8 +41,12 @@ fn bench_runs(c: &mut Criterion) {
 fn bench_cpu_only_throughput(c: &mut Criterion) {
     // Pure-CPU plan: measures raw event-loop throughput without the device.
     let plan = QueryPlan::new(vec![Segment::cpu(50.0)]);
-    let config =
-        RunConfig { cores: 8, concurrency: 64, duration_us: 0.2e6, ..RunConfig::default() };
+    let config = RunConfig {
+        cores: 8,
+        concurrency: 64,
+        duration_us: 0.2e6,
+        ..RunConfig::default()
+    };
     let mut group = c.benchmark_group("engine");
     group.bench_function("run_cpu_only_0.2s_conc64", |b| {
         b.iter(|| black_box(Executor::new(config).run(std::slice::from_ref(&plan))))

@@ -1,7 +1,7 @@
 //! Search-throughput microbenchmarks of the four index families on one
 //! dataset, at the paper's Table II search parameters.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_core::Metric;
 use sann_datagen::EmbeddingModel;
 use sann_index::{
@@ -27,7 +27,10 @@ fn bench_indexes(c: &mut Criterion) {
         &base,
         Metric::L2,
         DiskAnnConfig {
-            graph: VamanaConfig { r: 32, ..VamanaConfig::default() },
+            graph: VamanaConfig {
+                r: 32,
+                ..VamanaConfig::default()
+            },
             ..DiskAnnConfig::default()
         },
     )

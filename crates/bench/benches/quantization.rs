@@ -2,7 +2,7 @@
 //! lookups, and scalar quantization — the in-memory costs of the
 //! storage-based indexes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_datagen::EmbeddingModel;
 use sann_quant::{ProductQuantizer, ScalarQuantizer};
 
@@ -15,11 +15,15 @@ fn bench_pq(c: &mut Criterion) {
     let code = pq.encode(&q);
     let table = pq.distance_table(&q);
 
-    c.bench_function("pq/encode_768d_m96", |b| b.iter(|| pq.encode(black_box(&q))));
+    c.bench_function("pq/encode_768d_m96", |b| {
+        b.iter(|| pq.encode(black_box(&q)))
+    });
     c.bench_function("pq/distance_table_768d_m96", |b| {
         b.iter(|| pq.distance_table(black_box(&q)))
     });
-    c.bench_function("pq/adc_single", |b| b.iter(|| table.distance(black_box(&code))));
+    c.bench_function("pq/adc_single", |b| {
+        b.iter(|| table.distance(black_box(&code)))
+    });
     c.bench_function("pq/adc_scan_1k", |b| {
         b.iter(|| {
             let mut best = f32::INFINITY;

@@ -1,7 +1,7 @@
 //! Device-model microbenchmarks: the simulator must schedule millions of
 //! requests per second of host time for 256-thread sweeps to be cheap.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use sann_ssdsim::{Calibrator, DeviceSim, PageCache, SsdModel};
 
 fn bench_device(c: &mut Criterion) {

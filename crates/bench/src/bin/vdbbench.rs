@@ -20,7 +20,8 @@
 //! ```
 
 use sann_bench::{
-    context::BenchContext, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6, fig7_11, table1, table2,
+    context::BenchContext, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6, fig7_11,
+    table1, table2,
 };
 
 fn main() {
@@ -34,6 +35,7 @@ fn main() {
 fn real_main(args: &[String]) -> sann_core::Result<()> {
     let (mut ctx, rest) = BenchContext::from_args(args)?;
     let sub = rest.first().map(String::as_str).unwrap_or("help");
+    // sann-lint: allow(wall-clock) -- harness-side progress timer; never feeds simulated metrics
     let started = std::time::Instant::now();
     match sub {
         "table1" => println!("{}", table1::run(&ctx)?),

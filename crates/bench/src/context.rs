@@ -15,7 +15,7 @@ use sann_datagen::{catalog, DatasetSpec, GroundTruth};
 use sann_engine::{Executor, QueryPlan, RunConfig, RunMetrics};
 use sann_index::VectorIndex;
 use sann_vdb::{Setup, SetupKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Recall target the paper tunes every setup to (recall@10 ≥ 0.9).
@@ -70,11 +70,11 @@ pub struct BenchContext {
     pub only_dataset: Option<String>,
     /// Directory for CSV outputs.
     pub results_dir: std::path::PathBuf,
-    datasets: HashMap<String, PreparedDataset>,
-    indexes: HashMap<(String, &'static str), Arc<dyn VectorIndex>>,
-    setups: HashMap<(String, SetupKind), PreparedSetup>,
-    plans: HashMap<(String, SetupKind), Arc<Vec<QueryPlan>>>,
-    runs: HashMap<(String, SetupKind, usize), RunMetrics>,
+    datasets: BTreeMap<String, PreparedDataset>,
+    indexes: BTreeMap<(String, &'static str), Arc<dyn VectorIndex>>,
+    setups: BTreeMap<(String, SetupKind), PreparedSetup>,
+    plans: BTreeMap<(String, SetupKind), Arc<Vec<QueryPlan>>>,
+    runs: BTreeMap<(String, SetupKind, usize), RunMetrics>,
 }
 
 impl BenchContext {
@@ -86,11 +86,11 @@ impl BenchContext {
             duration_us: 5e6,
             only_dataset: None,
             results_dir: std::path::PathBuf::from("results"),
-            datasets: HashMap::new(),
-            indexes: HashMap::new(),
-            setups: HashMap::new(),
-            plans: HashMap::new(),
-            runs: HashMap::new(),
+            datasets: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            setups: BTreeMap::new(),
+            plans: BTreeMap::new(),
+            runs: BTreeMap::new(),
         }
     }
 
@@ -139,7 +139,12 @@ impl BenchContext {
     pub fn dataset_specs(&self) -> Vec<DatasetSpec> {
         catalog::all()
             .into_iter()
-            .filter(|s| self.only_dataset.as_deref().map(|o| o == s.name).unwrap_or(true))
+            .filter(|s| {
+                self.only_dataset
+                    .as_deref()
+                    .map(|o| o == s.name)
+                    .unwrap_or(true)
+            })
             .map(|s| s.scaled(self.scale))
             .collect()
     }
@@ -154,8 +159,7 @@ impl BenchContext {
             let bundle = spec.generate();
             let truth = GroundTruth::bruteforce(&bundle.base, &bundle.queries, spec.metric, K);
             let tune_queries = bundle.queries.truncated(TUNE_QUERIES);
-            let tune_truth =
-                GroundTruth::bruteforce(&bundle.base, &tune_queries, spec.metric, K);
+            let tune_truth = GroundTruth::bruteforce(&bundle.base, &tune_queries, spec.metric, K);
             self.datasets.insert(
                 spec.name.clone(),
                 PreparedDataset {
@@ -193,7 +197,12 @@ impl BenchContext {
             }
             let index = Arc::clone(&self.indexes[&index_key]);
             let data = &self.datasets[&spec.name];
-            setup.tune(index.as_ref(), &data.tune_queries, &data.tune_truth, RECALL_TARGET)?;
+            setup.tune(
+                index.as_ref(),
+                &data.tune_queries,
+                &data.tune_truth,
+                RECALL_TARGET,
+            )?;
             let recall = setup.recall(index.as_ref(), &data.queries, &data.truth, K)?;
             eprintln!(
                 "[prep] {} on {}: knob={} recall@10={:.3}",
@@ -202,7 +211,14 @@ impl BenchContext {
                 setup.knob(),
                 recall
             );
-            self.setups.insert(key.clone(), PreparedSetup { setup, index, recall });
+            self.setups.insert(
+                key.clone(),
+                PreparedSetup {
+                    setup,
+                    index,
+                    recall,
+                },
+            );
         }
         Ok(&self.setups[&key])
     }
@@ -226,7 +242,11 @@ impl BenchContext {
     /// The plan compiler for a setup on a dataset: delegates to
     /// [`sann_vdb::setup::calibrated_plan_builder`] with this context's
     /// scale.
-    pub fn plan_builder_for(&self, spec: &DatasetSpec, kind: SetupKind) -> sann_engine::PlanBuilder {
+    pub fn plan_builder_for(
+        &self,
+        spec: &DatasetSpec,
+        kind: SetupKind,
+    ) -> sann_engine::PlanBuilder {
         sann_vdb::setup::calibrated_plan_builder(kind, Setup::size_ratio(spec), self.scale)
     }
 
@@ -241,7 +261,9 @@ impl BenchContext {
         if !self.plans.contains_key(&key) {
             let builder = self.plan_builder_for(spec, kind);
             let (data, prepared) = self.dataset_and_setup(spec, kind)?;
-            let traces = prepared.setup.traces(prepared.index.as_ref(), &data.queries, K)?;
+            let traces = prepared
+                .setup
+                .traces(prepared.index.as_ref(), &data.queries, K)?;
             let plans = Arc::new(builder.build_all(&traces));
             self.plans.insert(key.clone(), plans);
         }
@@ -335,10 +357,18 @@ mod tests {
 
     #[test]
     fn parses_flags_and_passes_rest() {
-        let args: Vec<String> = ["--scale", "0.01", "--cores", "8", "fig2", "--dataset", "cohere-s"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--scale",
+            "0.01",
+            "--cores",
+            "8",
+            "fig2",
+            "--dataset",
+            "cohere-s",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let (ctx, rest) = BenchContext::from_args(&args).unwrap();
         assert_eq!(ctx.scale, 0.01);
         assert_eq!(ctx.cores, 8);
@@ -348,7 +378,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_values() {
-        let args: Vec<String> = ["--scale", "banana"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--scale", "banana"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(BenchContext::from_args(&args).is_err());
         let args: Vec<String> = vec!["--scale".into()];
         assert!(BenchContext::from_args(&args).is_err());
@@ -391,8 +424,14 @@ mod tests {
         ctx.only_dataset = Some("cohere-s".into());
         ctx.duration_us = 0.2e6;
         let spec = ctx.dataset_specs().remove(0);
-        let a = ctx.run_tuned(&spec, SetupKind::MilvusIvf, 4).unwrap().unwrap();
-        let b = ctx.run_tuned(&spec, SetupKind::MilvusIvf, 4).unwrap().unwrap();
+        let a = ctx
+            .run_tuned(&spec, SetupKind::MilvusIvf, 4)
+            .unwrap()
+            .unwrap();
+        let b = ctx
+            .run_tuned(&spec, SetupKind::MilvusIvf, 4)
+            .unwrap()
+            .unwrap();
         assert_eq!(a.qps, b.qps);
     }
 }

@@ -34,15 +34,21 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
         "mean_dists",
         "vs_unfiltered",
     ]);
-    for spec in ctx.dataset_specs().into_iter().filter(|s| s.name.ends_with("-s")) {
+    for spec in ctx
+        .dataset_specs()
+        .into_iter()
+        .filter(|s| s.name.ends_with("-s"))
+    {
         let data = ctx.dataset(&spec);
         let base = data.base.clone();
         let queries = data.queries.truncated(QUERIES);
 
         let mut collection = Collection::new(&spec.name, base.dim(), Metric::L2)?;
         for (i, row) in base.iter().enumerate() {
-            collection
-                .insert(row, Payload::new().with("bucket", Value::Int((i % 100) as i64)))?;
+            collection.insert(
+                row,
+                Payload::new().with("bucket", Value::Int((i % 100) as i64)),
+            )?;
         }
         collection.build_index(IndexSpec::Hnsw(Default::default()))?;
         let params = SearchParams::default().with_ef_search(48);

@@ -35,7 +35,11 @@ fn insert_plans(ctx: &BenchContext, spec: &sann_datagen::DatasetSpec) -> Result<
         &bundle.base,
         Metric::L2,
         FreshConfig {
-            graph: VamanaConfig { r: 32, l_build: 50, ..Default::default() },
+            graph: VamanaConfig {
+                r: 32,
+                l_build: 50,
+                ..Default::default()
+            },
             l_insert: 50,
             pq_m: 0,
             pq_ksub: 128,
@@ -69,7 +73,11 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
         "write_MiB/s",
     ]);
     // The small datasets suffice to show the interference effect.
-    for spec in ctx.dataset_specs().into_iter().filter(|s| s.name.ends_with("-s")) {
+    for spec in ctx
+        .dataset_specs()
+        .into_iter()
+        .filter(|s| s.name.ends_with("-s"))
+    {
         let search_plans = ctx.plans(&spec, SetupKind::MilvusDiskann)?;
         eprintln!("[prep] collecting real insert traces on {}", spec.name);
         let inserts = insert_plans(ctx, &spec)?;
@@ -80,8 +88,7 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
             let stride = if writers == 0 {
                 usize::MAX
             } else {
-                (search_plans.len() * SEARCH_CLIENTS / (writers * search_plans.len().max(1)))
-                    .max(1)
+                (search_plans.len() * SEARCH_CLIENTS / (writers * search_plans.len().max(1))).max(1)
             };
             let mut wi = 0usize;
             for (i, p) in search_plans.iter().enumerate() {
@@ -100,8 +107,7 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
                 num(m.qps),
                 num(m.p99_latency_us),
                 num(m.mean_bandwidth_mib),
-                num(m.io_stats.write_bytes as f64 / (1 << 20) as f64
-                    / (ctx.duration_us / 1e6)),
+                num(m.io_stats.write_bytes as f64 / (1 << 20) as f64 / (ctx.duration_us / 1e6)),
             ]);
         }
     }
@@ -138,10 +144,14 @@ mod tests {
 
         // Search-only vs mixed: writes appear and tails inflate.
         let search_plans = ctx.plans(&spec, SetupKind::MilvusDiskann).unwrap();
-        let base = ctx.run(SetupKind::MilvusDiskann, &search_plans, SEARCH_CLIENTS).unwrap();
+        let base = ctx
+            .run(SetupKind::MilvusDiskann, &search_plans, SEARCH_CLIENTS)
+            .unwrap();
         let mut mixed: Vec<QueryPlan> = search_plans.to_vec();
         mixed.extend(inserts.iter().cloned());
-        let m = ctx.run(SetupKind::MilvusDiskann, &mixed, SEARCH_CLIENTS + 64).unwrap();
+        let m = ctx
+            .run(SetupKind::MilvusDiskann, &mixed, SEARCH_CLIENTS + 64)
+            .unwrap();
         assert!(m.io_stats.write_bytes > 0);
         assert_eq!(base.io_stats.write_bytes, 0);
         std::fs::remove_dir_all(&ctx.results_dir).ok();

@@ -31,7 +31,11 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
         "p99_us_c64",
         "space_amp",
     ]);
-    for spec in ctx.dataset_specs().into_iter().filter(|s| s.name.ends_with("-s")) {
+    for spec in ctx
+        .dataset_specs()
+        .into_iter()
+        .filter(|s| s.name.ends_with("-s"))
+    {
         // DiskANN side: reuse the tuned setup.
         let diskann_plans = ctx.plans(&spec, SetupKind::MilvusDiskann)?;
         let (data, prepared) = ctx.dataset_and_setup(&spec, SetupKind::MilvusDiskann)?;
@@ -45,7 +49,11 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
                     .index
                     .search(q, K, &prepared.setup.params.search_params())
                     .expect("diskann search");
-                (out.trace.io_count(), out.trace.read_bytes(), out.trace.hops())
+                (
+                    out.trace.io_count(),
+                    out.trace.read_bytes(),
+                    out.trace.hops(),
+                )
             })
             .collect();
         let d_raw = (data.base.len() * data.base.row_bytes()) as u64;
@@ -72,7 +80,11 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
             .take(64)
             .map(|q| {
                 let out = spann.search(q, K, &s_params).expect("spann search");
-                (out.trace.io_count(), out.trace.read_bytes(), out.trace.hops())
+                (
+                    out.trace.io_count(),
+                    out.trace.read_bytes(),
+                    out.trace.hops(),
+                )
             })
             .collect();
         let s_space = spann.storage_bytes() as f64 / d_raw as f64;
@@ -89,7 +101,9 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
             s_traces.push(spann.search(q, K, &s_params)?.trace);
         }
         let s_plans = builder.build_all(&s_traces);
-        let s_run = ctx.run(SetupKind::MilvusDiskann, &s_plans, 64).expect("no client cap");
+        let s_run = ctx
+            .run(SetupKind::MilvusDiskann, &s_plans, 64)
+            .expect("no client cap");
 
         for (name, recall, inputs, run, space) in [
             ("diskann", d_recall, &d_metrics_input, &d_run, d_space),

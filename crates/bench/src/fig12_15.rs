@@ -29,12 +29,18 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
     let mut qps_t = Table::new(["dataset", "beam_width", "qps_c1", "qps_c256"]);
     let mut lat_t = Table::new(["dataset", "beam_width", "p99_us_c1"]);
     let mut bw_t = Table::new(["dataset", "beam_width", "MiB/s_c1", "MiB/s_c256"]);
-    let mut pq_t =
-        Table::new(["dataset", "beam_width", "per_query_MiB/s_c1", "per_query_MiB/s_c256"]);
+    let mut pq_t = Table::new([
+        "dataset",
+        "beam_width",
+        "per_query_MiB/s_c1",
+        "per_query_MiB/s_c256",
+    ]);
 
     for spec in ctx.dataset_specs() {
-        let values: Vec<(usize, usize)> =
-            BEAM_WIDTH_LADDER.iter().map(|&w| (SEARCH_LIST, w)).collect();
+        let values: Vec<(usize, usize)> = BEAM_WIDTH_LADDER
+            .iter()
+            .map(|&w| (SEARCH_LIST, w))
+            .collect();
         let points = sweep_diskann(ctx, &spec, &values)?;
         for p in &points {
             let w = p.beam_width.to_string();
@@ -84,8 +90,7 @@ mod tests {
         ctx.duration_us = 0.5e6;
         ctx.results_dir = std::env::temp_dir().join("sann-fig12-test");
         let spec = ctx.dataset_specs().remove(0);
-        let points =
-            sweep_diskann(&mut ctx, &spec, &[(SEARCH_LIST, 1), (SEARCH_LIST, 8)]).unwrap();
+        let points = sweep_diskann(&mut ctx, &spec, &[(SEARCH_LIST, 1), (SEARCH_LIST, 8)]).unwrap();
         assert!(
             points[1].c1.p99_latency_us < points[0].c1.p99_latency_us,
             "W=8 {} should beat W=1 {}",

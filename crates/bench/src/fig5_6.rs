@@ -11,10 +11,17 @@ use sann_vdb::SetupKind;
 /// The concurrency at which throughput stops improving materially (the
 /// paper's "throughput plateaus" level): the smallest ladder point within
 /// 10% of the ladder maximum.
-pub fn plateau_concurrency(ctx: &mut BenchContext, spec: &sann_datagen::DatasetSpec) -> Result<usize> {
+pub fn plateau_concurrency(
+    ctx: &mut BenchContext,
+    spec: &sann_datagen::DatasetSpec,
+) -> Result<usize> {
     let mut qps = Vec::with_capacity(CONCURRENCY_LADDER.len());
     for &c in CONCURRENCY_LADDER {
-        qps.push(ctx.run_tuned(spec, SetupKind::MilvusDiskann, c)?.map(|m| m.qps).unwrap_or(0.0));
+        qps.push(
+            ctx.run_tuned(spec, SetupKind::MilvusDiskann, c)?
+                .map(|m| m.qps)
+                .unwrap_or(0.0),
+        );
     }
     let max = qps.iter().cloned().fold(0.0, f64::max);
     for (i, &q) in qps.iter().enumerate() {
@@ -32,16 +39,13 @@ pub fn plateau_concurrency(ctx: &mut BenchContext, spec: &sann_datagen::DatasetS
 ///
 /// Propagates build/search errors.
 pub fn run_fig5(ctx: &mut BenchContext) -> Result<String> {
-    let mut out = String::from(
-        "Figure 5: read bandwidth (MiB/s) of milvus-diskann during search\n",
-    );
+    let mut out =
+        String::from("Figure 5: read bandwidth (MiB/s) of milvus-diskann during search\n");
     let mut csv = Table::new(["dataset", "concurrency", "second", "mib_per_s"]);
     let mut summary = Table::new(["dataset", "concurrency", "mean", "min", "max"]);
     for spec in ctx.dataset_specs() {
         let plateau = plateau_concurrency(ctx, &spec)?;
-        for (label, concurrency) in
-            [("1", 1usize), ("plateau", plateau), ("256", 256usize)]
-        {
+        for (label, concurrency) in [("1", 1usize), ("plateau", plateau), ("256", 256usize)] {
             let m = ctx
                 .run_tuned(&spec, SetupKind::MilvusDiskann, concurrency)?
                 .expect("milvus has no client limit");
@@ -55,7 +59,11 @@ pub fn run_fig5(ctx: &mut BenchContext) -> Result<String> {
                 ]);
             }
             // Steady region: skip the first second of ramp-up.
-            let steady = if series.len() > 1 { &series[1..] } else { &series[..] };
+            let steady = if series.len() > 1 {
+                &series[1..]
+            } else {
+                &series[..]
+            };
             let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
             let min = steady.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = steady.iter().cloned().fold(0.0, f64::max);
@@ -123,7 +131,10 @@ mod tests {
         ctx.duration_us = 0.5e6;
         ctx.results_dir = std::env::temp_dir().join("sann-fig6-test");
         let text = run_fig6(&mut ctx).unwrap();
-        assert!(text.contains("1.00000"), "all requests must be 4 KiB:\n{text}");
+        assert!(
+            text.contains("1.00000"),
+            "all requests must be 4 KiB:\n{text}"
+        );
         std::fs::remove_dir_all(&ctx.results_dir).ok();
     }
 }

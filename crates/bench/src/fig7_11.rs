@@ -50,9 +50,19 @@ pub fn sweep_diskann(
             let traces = setup.traces(index, &data.queries, K)?;
             (recall, builder.build_all(&traces))
         };
-        let c1 = ctx.run(SetupKind::MilvusDiskann, &plans, 1).expect("no client cap");
-        let c256 = ctx.run(SetupKind::MilvusDiskann, &plans, 256).expect("no client cap");
-        points.push(SweepPoint { search_list, beam_width, recall, c1, c256 });
+        let c1 = ctx
+            .run(SetupKind::MilvusDiskann, &plans, 1)
+            .expect("no client cap");
+        let c256 = ctx
+            .run(SetupKind::MilvusDiskann, &plans, 256)
+            .expect("no client cap");
+        points.push(SweepPoint {
+            search_list,
+            beam_width,
+            recall,
+            c1,
+            c256,
+        });
     }
     Ok(points)
 }
@@ -67,7 +77,12 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
     let mut lat_t = Table::new(["dataset", "search_list", "p99_us_c1"]);
     let mut rec_t = Table::new(["dataset", "search_list", "recall@10"]);
     let mut bw_t = Table::new(["dataset", "search_list", "MiB/s_c1", "MiB/s_c256"]);
-    let mut pq_t = Table::new(["dataset", "search_list", "per_query_MiB/s_c1", "per_query_MiB/s_c256"]);
+    let mut pq_t = Table::new([
+        "dataset",
+        "search_list",
+        "per_query_MiB/s_c1",
+        "per_query_MiB/s_c256",
+    ]);
 
     for spec in ctx.dataset_specs() {
         let values: Vec<(usize, usize)> = SEARCH_LIST_LADDER.iter().map(|&l| (l, 4)).collect();
@@ -123,7 +138,10 @@ mod tests {
         ctx.results_dir = std::env::temp_dir().join("sann-fig7-test");
         let spec = ctx.dataset_specs().remove(0);
         let points = sweep_diskann(&mut ctx, &spec, &[(10, 4), (100, 4)]).unwrap();
-        assert!(points[1].recall >= points[0].recall - 0.01, "recall must not drop");
+        assert!(
+            points[1].recall >= points[0].recall - 0.01,
+            "recall must not drop"
+        );
         assert!(
             points[1].c1.read_bytes_per_query > 1.5 * points[0].c1.read_bytes_per_query,
             "larger search_list must read much more"

@@ -27,6 +27,7 @@ pub mod fig12_15;
 pub mod fig2_4;
 pub mod fig5_6;
 pub mod fig7_11;
+pub mod microbench;
 pub mod report;
 pub mod table1;
 pub mod table2;

@@ -18,14 +18,20 @@ pub fn run(ctx: &BenchContext) -> Result<String> {
 
     let mut out = String::new();
     out.push_str("Table I: benchmarking environment (simulated)\n");
-    out.push_str(&format!("  CPU            : {} simulated cores\n", ctx.cores));
+    out.push_str(&format!(
+        "  CPU            : {} simulated cores\n",
+        ctx.cores
+    ));
     out.push_str(&format!(
         "  Storage device : modeled Samsung 990 Pro class NVMe ({} flash units, {:.0} us media, {:.1} GiB/s bus)\n",
         model.units,
         model.base_latency_us,
         model.device_bw * 1e6 / (1u64 << 30) as f64
     ));
-    out.push_str(&format!("  Run duration   : {:.0} s simulated per measurement\n\n", ctx.duration_us / 1e6));
+    out.push_str(&format!(
+        "  Run duration   : {:.0} s simulated per measurement\n\n",
+        ctx.duration_us / 1e6
+    ));
     out.push_str(&report.to_string());
     out.push('\n');
 

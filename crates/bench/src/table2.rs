@@ -13,7 +13,15 @@ use sann_vdb::SetupKind;
 /// Propagates build/search errors.
 pub fn run(ctx: &mut BenchContext) -> Result<String> {
     let mut table = Table::new([
-        "dataset", "index", "nlist", "nprobe", "M", "efC", "efSearch", "search_list", "recall@10",
+        "dataset",
+        "index",
+        "nlist",
+        "nprobe",
+        "M",
+        "efC",
+        "efSearch",
+        "search_list",
+        "recall@10",
     ]);
     // The three Table II index families, represented by the setups that tune
     // them on Milvus (plus LanceDB's separately tuned variants).
@@ -69,7 +77,9 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
     }
     ctx.write_csv("table2.csv", &table.to_csv())?;
     let mut out = String::from("Table II: index parameters and achieved recall@10\n");
-    out.push_str(&format!("(k = {K}, target recall >= 0.9; LanceDB-IVF's nprobe ladder is capped as in the paper)\n"));
+    out.push_str(&format!(
+        "(k = {K}, target recall >= 0.9; LanceDB-IVF's nprobe ladder is capped as in the paper)\n"
+    ));
     out.push_str(&table.to_text());
     Ok(out)
 }

@@ -1,0 +1,243 @@
+//! Little-endian byte encoding and decoding.
+//!
+//! Used by the snapshot format in `sann-vdb` and by the canonical metric
+//! fingerprints the determinism audit compares byte-for-byte. Everything is
+//! explicit little-endian so encodings are identical across platforms.
+
+use crate::error::{Error, Result};
+
+/// Append-only little-endian encoder over a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    bytes: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64_le(&mut self, v: i64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32` bit pattern.
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64` bit pattern.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32_le(s.len() as u32);
+        self.put_slice(s.as_bytes());
+    }
+}
+
+/// Cursor-style little-endian decoder over a byte slice.
+///
+/// Every getter checks bounds and returns [`Error::Corrupt`] on truncation,
+/// tagged with the reader's `context` string.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `data`; `context` prefixes error messages.
+    pub fn new(data: &'a [u8], context: &'static str) -> ByteReader<'a> {
+        ByteReader { data, context }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The unconsumed tail.
+    pub fn rest(&self) -> &'a [u8] {
+        self.data
+    }
+
+    fn corrupt(&self, what: &str) -> Error {
+        Error::Corrupt(format!("{}: {what}", self.context))
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() < n {
+            return Err(self.corrupt("truncated"));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation.
+    pub fn get_u32_le(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation.
+    pub fn get_u64_le(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation.
+    pub fn get_i64_le(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation.
+    pub fn get_f32_le(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation.
+    pub fn get_f64_le(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32_le()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid utf-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_type() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-42);
+        w.put_f32_le(1.5);
+        w.put_f64_le(-0.25);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32_le().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le().unwrap(), -42);
+        assert_eq!(r.get_f32_le().unwrap(), 1.5);
+        assert_eq!(r.get_f64_le().unwrap(), -0.25);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_corrupt_with_context() {
+        let mut r = ByteReader::new(&[1, 2], "snapshot");
+        match r.get_u32_le() {
+            Err(Error::Corrupt(msg)) => assert!(msg.starts_with("snapshot:")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_utf8_is_corrupt() {
+        let mut w = ByteWriter::new();
+        w.put_u32_le(2);
+        w.put_slice(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes, "t").get_str().is_err());
+    }
+
+    #[test]
+    fn encodings_are_little_endian() {
+        let mut w = ByteWriter::new();
+        w.put_u32_le(1);
+        assert_eq!(w.as_slice(), &[1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! A tiny seeded property-test harness.
+//!
+//! The workspace's invariant tests are property-shaped ("for all request
+//! streams, the device never beats the bus"), but they must also be
+//! *deterministic* — a flaky CI failure in a determinism-audit suite would be
+//! self-defeating. So instead of a shrinking fuzzer, [`run`] derives every
+//! case from a seed fixed by the property name: failures reproduce exactly,
+//! on every machine, every time. The failing case index and seed are printed
+//! so a single case can be replayed in isolation with [`Gen::from_seed`].
+
+use crate::rng::SplitMix64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Number of cases [`run`] executes per property.
+pub const DEFAULT_CASES: u64 = 128;
+
+/// A source of random test values for one property case.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// Creates a generator from an explicit seed (for replaying one case).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.next_bounded(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.rng.next_f32() * (hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.next_f64() < p
+    }
+
+    /// A vector of `len` values drawn from `f`, with `len` in `[lo, hi)`.
+    pub fn vec_with<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(lo, hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A vector of uniform `f32` values.
+    pub fn vec_f32(&mut self, lo_len: usize, hi_len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        self.vec_with(lo_len, hi_len, |g| g.f32_in(lo, hi))
+    }
+}
+
+/// Runs `cases` cases of the property `body`, panicking with the case index
+/// and seed on the first failure. The case stream is fixed by `name`, so the
+/// same property always sees the same inputs.
+///
+/// # Panics
+///
+/// Re-raises the first failing case's panic after printing its seed.
+pub fn run(name: &str, cases: u64, mut body: impl FnMut(&mut Gen)) {
+    let base = fnv1a(name.as_bytes());
+    let root = SplitMix64::new(base);
+    for case in 0..cases {
+        let seed = root.split(case).next_u64();
+        let mut gen = Gen::from_seed(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            body(&mut gen);
+        }));
+        if let Err(panic) = result {
+            eprintln!("property '{name}' failed at case {case}/{cases} (replay seed {seed:#x})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// [`run`] with [`DEFAULT_CASES`] cases.
+pub fn check(name: &str, body: impl FnMut(&mut Gen)) {
+    run(name, DEFAULT_CASES, body);
+}
+
+/// FNV-1a over `bytes` — stable across platforms and compiler versions, so
+/// property case streams never change out from under a failure report.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        run("stream", 10, |g| first.push(g.u64_in(0, 1_000_000)));
+        let mut second: Vec<u64> = Vec::new();
+        run("stream", 10, |g| second.push(g.u64_in(0, 1_000_000)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_names_see_different_streams() {
+        let mut a: Vec<u64> = Vec::new();
+        run("alpha", 10, |g| a.push(g.u64_in(0, 1_000_000)));
+        let mut b: Vec<u64> = Vec::new();
+        run("beta", 10, |g| b.push(g.u64_in(0, 1_000_000)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        check("ranges", |g| {
+            let x = g.u64_in(10, 20);
+            assert!((10..20).contains(&x));
+            let f = g.f32_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let v = g.vec_f32(1, 5, 0.0, 1.0);
+            assert!(!v.is_empty() && v.len() < 5);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run("failing", 3, |_| panic!("boom"));
+    }
+}

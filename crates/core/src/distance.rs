@@ -14,7 +14,7 @@
 ///   faiss and DiskANN),
 /// * [`Metric::InnerProduct`] is the negated dot product,
 /// * [`Metric::Cosine`] is `1 - cosine_similarity`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Metric {
     /// Squared Euclidean distance.
     L2,
@@ -174,7 +174,10 @@ mod tests {
             let b: Vec<f32> = (0..n).map(|i| (n - i) as f32 * 0.25).collect();
             let fast = l2_squared(&a, &b);
             let naive = naive_l2(&a, &b);
-            assert!((fast - naive).abs() < 1e-3 * naive.max(1.0), "n={n}: {fast} vs {naive}");
+            assert!(
+                (fast - naive).abs() < 1e-3 * naive.max(1.0),
+                "n={n}: {fast} vs {naive}"
+            );
         }
     }
 
@@ -196,7 +199,10 @@ mod tests {
 
     #[test]
     fn metric_ip_is_negated() {
-        assert_eq!(Metric::InnerProduct.distance(&[1.0, 1.0], &[2.0, 3.0]), -5.0);
+        assert_eq!(
+            Metric::InnerProduct.distance(&[1.0, 1.0], &[2.0, 3.0]),
+            -5.0
+        );
     }
 
     #[test]

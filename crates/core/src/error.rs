@@ -49,7 +49,10 @@ pub enum Error {
 impl Error {
     /// Convenience constructor for [`Error::InvalidParameter`].
     pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
-        Error::InvalidParameter { name, message: message.into() }
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
     }
 }
 
@@ -88,7 +91,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let err = Error::DimensionMismatch { expected: 768, actual: 1536 };
+        let err = Error::DimensionMismatch {
+            expected: 768,
+            actual: 1536,
+        };
         let text = err.to_string();
         assert!(text.contains("768"));
         assert!(text.contains("1536"));
@@ -111,6 +117,9 @@ mod tests {
     #[test]
     fn invalid_parameter_ctor() {
         let err = Error::invalid_parameter("search_list", "must be >= k");
-        assert_eq!(err.to_string(), "invalid parameter `search_list`: must be >= k");
+        assert_eq!(
+            err.to_string(),
+            "invalid parameter `search_list`: must be >= k"
+        );
     }
 }

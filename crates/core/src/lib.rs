@@ -8,7 +8,13 @@
 //! * [`recall::recall_at_k`] — the accuracy metric reported by the paper,
 //! * [`stats`] — percentile/mean helpers shared by the benchmark harness,
 //! * [`rng::SplitMix64`] — a tiny deterministic RNG so experiments are
-//!   reproducible across crates without threading `rand` generics everywhere.
+//!   reproducible across crates without threading generator generics
+//!   everywhere,
+//! * [`sync`] — poison-free lock wrappers over [`std::sync`],
+//! * [`buf`] — little-endian byte encoding/decoding for snapshots and
+//!   canonical metric fingerprints,
+//! * [`check`] — a seeded property-test harness used by the workspace's
+//!   invariant tests.
 //!
 //! # Examples
 //!
@@ -26,11 +32,14 @@
 //! assert_eq!(hits[1].id, 1);
 //! ```
 
+pub mod buf;
+pub mod check;
 pub mod distance;
 pub mod error;
 pub mod recall;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod topk;
 pub mod vector;
 

@@ -41,7 +41,11 @@ pub fn mean_recall_at_k(truth: &[Vec<u32>], found: &[Vec<u32>], k: usize) -> f64
     if truth.is_empty() {
         return 0.0;
     }
-    let total: f64 = truth.iter().zip(found).map(|(t, f)| recall_at_k(t, f, k)).sum();
+    let total: f64 = truth
+        .iter()
+        .zip(found)
+        .map(|(t, f)| recall_at_k(t, f, k))
+        .sum();
     total / truth.len() as f64
 }
 

@@ -32,7 +32,9 @@ impl SplitMix64 {
     /// Derives an independent child stream. Streams derived with different
     /// `tag`s from the same parent are decorrelated.
     pub fn split(&self, tag: u64) -> SplitMix64 {
-        let mut probe = SplitMix64 { state: self.state ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        let mut probe = SplitMix64 {
+            state: self.state ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
         // Burn one output so adjacent tags diverge immediately.
         probe.next_u64();
         probe
@@ -163,7 +165,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
-        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "shuffle left slice unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<u32>>(),
+            "shuffle left slice unchanged"
+        );
     }
 
     #[test]

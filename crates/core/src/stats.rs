@@ -63,7 +63,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Accumulator { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.

@@ -33,7 +33,9 @@ impl PartialOrd for Neighbor {
 
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.total_cmp(&other.dist).then_with(|| self.id.cmp(&other.id))
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -68,7 +70,10 @@ impl TopK {
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        TopK { heap: BinaryHeap::with_capacity(k + 1), k }
+        TopK {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        }
     }
 
     /// The configured `k`.
@@ -98,7 +103,10 @@ impl TopK {
         if self.heap.len() < self.k {
             self.heap.push(Neighbor::new(id, dist));
             true
-        } else if dist.total_cmp(&self.heap.peek().expect("non-empty").dist).is_lt() {
+        } else if dist
+            .total_cmp(&self.heap.peek().expect("non-empty").dist)
+            .is_lt()
+        {
             self.heap.pop();
             self.heap.push(Neighbor::new(id, dist));
             true

@@ -34,7 +34,10 @@ impl Dataset {
     /// Panics if `dim` is zero.
     pub fn with_dim(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Dataset { data: Vec::new(), dim }
+        Dataset {
+            data: Vec::new(),
+            dim,
+        }
     }
 
     /// Creates a dataset from a flat row-major buffer.
@@ -47,7 +50,7 @@ impl Dataset {
         if dim == 0 {
             return Err(Error::invalid_parameter("dim", "must be positive"));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(Error::invalid_parameter(
                 "data",
                 format!("length {} is not a multiple of dim {}", data.len(), dim),
@@ -71,7 +74,10 @@ impl Dataset {
         let mut data = Vec::with_capacity(rows.len() * dim);
         for row in &rows {
             if row.len() != dim {
-                return Err(Error::DimensionMismatch { expected: dim, actual: row.len() });
+                return Err(Error::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                });
             }
             data.extend_from_slice(row);
         }
@@ -85,7 +91,10 @@ impl Dataset {
     /// Returns [`Error::DimensionMismatch`] when `row.len() != self.dim()`.
     pub fn push(&mut self, row: &[f32]) -> Result<()> {
         if row.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: row.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+            });
         }
         self.data.extend_from_slice(row);
         Ok(())
@@ -127,7 +136,12 @@ impl Dataset {
 
     /// Iterate over rows in id order.
     pub fn iter(&self) -> Rows<'_> {
-        Rows { data: &self.data, dim: self.dim, front: 0, back: self.data.len() / self.dim }
+        Rows {
+            data: &self.data,
+            dim: self.dim,
+            front: 0,
+            back: self.data.len() / self.dim,
+        }
     }
 
     /// The underlying flat row-major buffer.
@@ -144,7 +158,10 @@ impl Dataset {
     /// `n >= self.len()`).
     pub fn truncated(&self, n: usize) -> Dataset {
         let n = n.min(self.len());
-        Dataset { data: self.data[..n * self.dim].to_vec(), dim: self.dim }
+        Dataset {
+            data: self.data[..n * self.dim].to_vec(),
+            dim: self.dim,
+        }
     }
 
     /// Bytes needed to store one full-precision vector.
@@ -217,7 +234,13 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged() {
         let err = Dataset::from_rows(vec![vec![1.0, 2.0], vec![3.0]]).unwrap_err();
-        assert_eq!(err, Error::DimensionMismatch { expected: 2, actual: 1 });
+        assert_eq!(
+            err,
+            Error::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]

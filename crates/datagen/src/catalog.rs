@@ -44,7 +44,11 @@ impl DatasetSpec {
     pub fn scaled(&self, scale: f64) -> DatasetSpec {
         let n_base = ((self.n_base as f64 * scale) as usize).max(1_000);
         let clusters = ((self.clusters as f64 * scale.sqrt()) as usize).clamp(8, self.clusters);
-        DatasetSpec { n_base, clusters, ..self.clone() }
+        DatasetSpec {
+            n_base,
+            clusters,
+            ..self.clone()
+        }
     }
 
     /// The generative model for this spec.
@@ -92,7 +96,12 @@ pub fn cohere_s() -> DatasetSpec {
 
 /// Cohere-like large dataset: 10M × 768-d at scale 1.0 (10× `cohere-s`).
 pub fn cohere_l() -> DatasetSpec {
-    DatasetSpec { name: "cohere-l".to_owned(), n_base: 10_000_000, clusters: 512, ..cohere_s() }
+    DatasetSpec {
+        name: "cohere-l".to_owned(),
+        n_base: 10_000_000,
+        clusters: 512,
+        ..cohere_s()
+    }
 }
 
 /// OpenAI-like small dataset: 500K × 1536-d at scale 1.0.
@@ -104,13 +113,18 @@ pub fn openai_s() -> DatasetSpec {
         n_queries: DEFAULT_QUERIES,
         metric: Metric::L2,
         clusters: 192,
-        seed: 0x0AE_4A_02,
+        seed: 0x00AE_4A02,
     }
 }
 
 /// OpenAI-like large dataset: 5M × 1536-d at scale 1.0 (10× `openai-s`).
 pub fn openai_l() -> DatasetSpec {
-    DatasetSpec { name: "openai-l".to_owned(), n_base: 5_000_000, clusters: 384, ..openai_s() }
+    DatasetSpec {
+        name: "openai-l".to_owned(),
+        n_base: 5_000_000,
+        clusters: 384,
+        ..openai_s()
+    }
 }
 
 /// All four paper datasets, in the paper's order.

@@ -19,18 +19,20 @@ impl GroundTruth {
     pub fn bruteforce(base: &Dataset, queries: &Dataset, metric: Metric, k: usize) -> GroundTruth {
         assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
         assert!(k > 0, "k must be positive");
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let n_queries = queries.len();
         let mut ids = vec![Vec::new(); n_queries];
 
         // Chunk query ids across worker threads; each worker scans the whole
         // base set for its chunk of queries.
         let chunk = n_queries.div_ceil(threads.max(1));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, out_chunk) in ids.chunks_mut(chunk.max(1)).enumerate() {
                 let base = &base;
                 let queries = &queries;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (i, out) in out_chunk.iter_mut().enumerate() {
                         let q = queries.row(t * chunk + i);
                         let mut topk = TopK::new(k);
@@ -41,8 +43,7 @@ impl GroundTruth {
                     }
                 });
             }
-        })
-        .expect("ground-truth worker panicked");
+        });
 
         GroundTruth { k, ids }
     }
@@ -110,7 +111,11 @@ mod tests {
         let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 5);
         assert_eq!(gt.len(), 17);
         for (i, q) in queries.iter().enumerate() {
-            assert_eq!(gt.neighbors(i), naive_truth(&base, q, 5).as_slice(), "query {i}");
+            assert_eq!(
+                gt.neighbors(i),
+                naive_truth(&base, q, 5).as_slice(),
+                "query {i}"
+            );
         }
     }
 

@@ -150,8 +150,9 @@ impl EmbeddingModel {
 
     /// Zipf mixture weights (normalized to sum to 1).
     pub fn weights(&self) -> Vec<f64> {
-        let raw: Vec<f64> =
-            (1..=self.clusters).map(|rank| 1.0 / (rank as f64).powf(self.zipf_s)).collect();
+        let raw: Vec<f64> = (1..=self.clusters)
+            .map(|rank| 1.0 / (rank as f64).powf(self.zipf_s))
+            .collect();
         let total: f64 = raw.iter().sum();
         raw.into_iter().map(|w| w / total).collect()
     }
@@ -224,7 +225,10 @@ mod tests {
             total += best.sqrt() as f64;
         }
         let mean_dist = total / 200.0;
-        assert!(mean_dist < 1.0, "mean nearest-center distance {mean_dist} too large");
+        assert!(
+            mean_dist < 1.0,
+            "mean nearest-center distance {mean_dist} too large"
+        );
     }
 
     #[test]

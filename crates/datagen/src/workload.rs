@@ -21,12 +21,22 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// The paper's default: 30-second run, 1,000 queries, k=10.
     pub fn paper_default(concurrency: usize) -> Self {
-        WorkloadSpec { concurrency, duration_us: 30_000_000, n_queries: 1_000, k: 10 }
+        WorkloadSpec {
+            concurrency,
+            duration_us: 30_000_000,
+            n_queries: 1_000,
+            k: 10,
+        }
     }
 
     /// A shortened run for unit tests and smoke benchmarks.
     pub fn quick(concurrency: usize) -> Self {
-        WorkloadSpec { concurrency, duration_us: 2_000_000, n_queries: 200, k: 10 }
+        WorkloadSpec {
+            concurrency,
+            duration_us: 2_000_000,
+            n_queries: 200,
+            k: 10,
+        }
     }
 
     /// Returns the query index the `i`-th issued query uses (wrapping).

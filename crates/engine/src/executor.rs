@@ -43,11 +43,11 @@ impl Default for RunConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     /// A CPU subtask of the query finished (frees its core).
-    SubtaskDone { query: usize },
+    Subtask { query: usize },
     /// One request of the query's current beam completed.
-    IoDone { query: usize },
+    Io { query: usize },
     /// A core-free delay elapsed.
-    DelayDone { query: usize },
+    Delay { query: usize },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,22 +182,51 @@ impl<'a> Simulation<'a> {
         self.dispatch(0);
 
         while let Some(Reverse((t, _, idx))) = self.events.pop() {
+            assert!(
+                t >= self.clock_ns,
+                "event queue regressed: popped t={t} ns behind clock {} ns",
+                self.clock_ns
+            );
             self.clock_ns = t;
             match self.event_payload[idx] {
-                EventKind::SubtaskDone { query } => {
+                EventKind::Subtask { query } => {
                     self.free_cores += 1;
                     self.on_subtask_done(query, t);
                 }
-                EventKind::IoDone { query } => {
+                EventKind::Io { query } => {
                     self.on_io_done(query, t);
                 }
-                EventKind::DelayDone { query } => {
+                EventKind::Delay { query } => {
                     self.queries[query].seg += 1;
                     self.advance(query, t);
                 }
             }
             self.dispatch(t);
         }
+
+        // Conservation audit: every byte the block-layer tracer logged must
+        // have been scheduled on the device exactly once, and vice versa —
+        // cache hits bypass both, misses go through both. A mismatch means
+        // a code path recorded traffic without simulating it (or simulated
+        // it untraced), which would corrupt every bandwidth figure.
+        let stats = self.tracer.stats();
+        assert_eq!(
+            stats.read_bytes + stats.write_bytes,
+            self.device.bytes(),
+            "I/O conservation violated: tracer saw {} read + {} written bytes \
+             but the device transferred {}",
+            stats.read_bytes,
+            stats.write_bytes,
+            self.device.bytes()
+        );
+        assert_eq!(
+            stats.reads + stats.writes,
+            self.device.completed(),
+            "I/O conservation violated: tracer saw {} requests but the device \
+             completed {}",
+            stats.reads + stats.writes,
+            self.device.completed()
+        );
 
         let duration_s = self.config.duration_us / 1e6;
         RunMetrics::assemble(
@@ -285,7 +314,7 @@ impl<'a> Simulation<'a> {
                         continue;
                     }
                     let at = t + (us * NS_PER_US) as u64;
-                    self.push_event(at, EventKind::DelayDone { query });
+                    self.push_event(at, EventKind::Delay { query });
                     return;
                 }
                 Some(Segment::Io { reqs }) | Some(Segment::Write { reqs }) => {
@@ -339,10 +368,7 @@ impl<'a> Simulation<'a> {
                         // direct I/O semantics).
                         self.tracer.record_write(t_us, r.offset, r.len);
                         let done_us = self.device.schedule_write(t_us, r.len);
-                        self.push_event(
-                            (done_us * NS_PER_US) as u64,
-                            EventKind::IoDone { query },
-                        );
+                        self.push_event((done_us * NS_PER_US) as u64, EventKind::Io { query });
                         pending += 1;
                         continue;
                     }
@@ -354,10 +380,7 @@ impl<'a> Simulation<'a> {
                     }
                     self.tracer.record_read(t_us, r.offset, r.len);
                     let done_us = self.device.schedule(t_us, r.len);
-                    self.push_event(
-                        (done_us * NS_PER_US) as u64,
-                        EventKind::IoDone { query },
-                    );
+                    self.push_event((done_us * NS_PER_US) as u64, EventKind::Io { query });
                     pending += 1;
                 }
                 let q = &mut self.queries[query];
@@ -408,7 +431,7 @@ impl<'a> Simulation<'a> {
             };
             self.free_cores -= 1;
             self.busy_ns += dur_ns;
-            self.push_event(t + dur_ns, EventKind::SubtaskDone { query });
+            self.push_event(t + dur_ns, EventKind::Subtask { query });
         }
     }
 }
@@ -424,13 +447,21 @@ mod tests {
 
     #[test]
     fn single_client_cpu_bound_qps() {
-        let config =
-            RunConfig { cores: 4, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let config = RunConfig {
+            cores: 4,
+            concurrency: 1,
+            duration_us: 1e6,
+            ..RunConfig::default()
+        };
         let m = Executor::new(config).run(&[cpu_plan(100.0)]);
         assert!((m.qps - 10_000.0).abs() < 200.0, "qps {}", m.qps);
         assert!((m.p99_latency_us - 100.0).abs() < 2.0);
         // One core busy out of four.
-        assert!((m.cpu_utilization - 0.25).abs() < 0.02, "cpu {}", m.cpu_utilization);
+        assert!(
+            (m.cpu_utilization - 0.25).abs() < 0.02,
+            "cpu {}",
+            m.cpu_utilization
+        );
     }
 
     #[test]
@@ -452,7 +483,11 @@ mod tests {
                 );
             } else {
                 // Saturated at 4 cores.
-                assert!((m.qps - 40_000.0).abs() < 1000.0, "conc {conc} qps {}", m.qps);
+                assert!(
+                    (m.qps - 40_000.0).abs() < 1000.0,
+                    "conc {conc} qps {}",
+                    m.qps
+                );
                 assert!(m.p99_latency_us > 150.0, "queueing must inflate latency");
             }
             assert!(m.qps >= last_qps - 500.0);
@@ -515,9 +550,12 @@ mod tests {
             duration_us: 1e6,
             ..RunConfig::default()
         };
-        let capped = RunConfig { max_concurrent: 2, ..uncapped };
+        let capped = RunConfig {
+            max_concurrent: 2,
+            ..uncapped
+        };
         let plan = cpu_plan(100.0);
-        let m_un = Executor::new(uncapped).run(&[plan.clone()]);
+        let m_un = Executor::new(uncapped).run(std::slice::from_ref(&plan));
         let m_cap = Executor::new(capped).run(&[plan]);
         assert!(
             m_cap.qps < m_un.qps / 3.0,
@@ -531,8 +569,12 @@ mod tests {
     fn intra_query_parallelism_cuts_latency() {
         let serial = QueryPlan::new(vec![Segment::cpu(800.0)]);
         let fanned = QueryPlan::new(vec![Segment::cpu_parallel(800.0, 8)]);
-        let config =
-            RunConfig { cores: 8, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let config = RunConfig {
+            cores: 8,
+            concurrency: 1,
+            duration_us: 1e6,
+            ..RunConfig::default()
+        };
         let m_serial = Executor::new(config).run(&[serial]);
         let m_fan = Executor::new(config).run(&[fanned]);
         assert!((m_serial.mean_latency_us - 800.0).abs() < 5.0);
@@ -550,10 +592,18 @@ mod tests {
             cache_bytes: 0,
             ..RunConfig::default()
         };
-        let warm = RunConfig { cache_bytes: 1 << 20, ..cold };
-        let m_cold = Executor::new(cold).run(&[plan.clone()]);
+        let warm = RunConfig {
+            cache_bytes: 1 << 20,
+            ..cold
+        };
+        let m_cold = Executor::new(cold).run(std::slice::from_ref(&plan));
         let m_warm = Executor::new(warm).run(&[plan]);
-        assert!(m_warm.qps > 3.0 * m_cold.qps, "{} vs {}", m_warm.qps, m_cold.qps);
+        assert!(
+            m_warm.qps > 3.0 * m_cold.qps,
+            "{} vs {}",
+            m_warm.qps,
+            m_cold.qps
+        );
         // The warm run hits cache after the first read: almost no device traffic.
         assert!(m_warm.device_read_bytes < m_cold.device_read_bytes / 10);
     }
@@ -561,11 +611,23 @@ mod tests {
     #[test]
     fn delay_adds_latency_not_cpu() {
         let plan = QueryPlan::new(vec![Segment::delay(500.0), Segment::cpu(10.0)]);
-        let config =
-            RunConfig { cores: 2, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 1e6,
+            ..RunConfig::default()
+        };
         let m = Executor::new(config).run(&[plan]);
-        assert!((m.mean_latency_us - 510.0).abs() < 2.0, "latency {}", m.mean_latency_us);
-        assert!(m.cpu_utilization < 0.02, "delays must not burn CPU: {}", m.cpu_utilization);
+        assert!(
+            (m.mean_latency_us - 510.0).abs() < 2.0,
+            "latency {}",
+            m.mean_latency_us
+        );
+        assert!(
+            m.cpu_utilization < 0.02,
+            "delays must not burn CPU: {}",
+            m.cpu_utilization
+        );
     }
 
     #[test]
@@ -573,7 +635,9 @@ mod tests {
         let ssd = SsdModel::samsung_990_pro();
         let read_plan = QueryPlan::new(vec![Segment::io(vec![IoReq::new(0, 4096)])]);
         let write_plan = QueryPlan::new(vec![Segment::write(
-            (0..16).map(|i| IoReq::new((1 << 30) + i * 4096, 4096)).collect(),
+            (0..16)
+                .map(|i| IoReq::new((1 << 30) + i * 4096, 4096))
+                .collect(),
         )]);
         let alone = RunConfig {
             cores: 4,
@@ -582,11 +646,13 @@ mod tests {
             ssd,
             ..RunConfig::default()
         };
-        let m_alone = Executor::new(alone).run(&[read_plan.clone()]);
+        let m_alone = Executor::new(alone).run(std::slice::from_ref(&read_plan));
         // Same read clients, plus heavy writers sharing the device.
-        let mixed = RunConfig { concurrency: 72, ..alone };
-        let m_mixed =
-            Executor::new(mixed).run(&[&[read_plan], &vec![write_plan; 8][..]].concat());
+        let mixed = RunConfig {
+            concurrency: 72,
+            ..alone
+        };
+        let m_mixed = Executor::new(mixed).run(&[&[read_plan], &vec![write_plan; 8][..]].concat());
         assert!(m_mixed.io_stats.write_bytes > 0, "writers must write");
         assert!(
             m_mixed.p99_latency_us > m_alone.p99_latency_us,
@@ -609,7 +675,7 @@ mod tests {
             duration_us: 0.5e6,
             ..RunConfig::default()
         };
-        let a = Executor::new(config).run(&[plan.clone()]);
+        let a = Executor::new(config).run(std::slice::from_ref(&plan));
         let b = Executor::new(config).run(&[plan]);
         assert_eq!(a.qps, b.qps);
         assert_eq!(a.p99_latency_us, b.p99_latency_us);
@@ -620,11 +686,19 @@ mod tests {
     fn round_robin_covers_all_plans() {
         let fast = cpu_plan(10.0);
         let slow = cpu_plan(1000.0);
-        let config =
-            RunConfig { cores: 1, concurrency: 1, duration_us: 1e6, ..RunConfig::default() };
+        let config = RunConfig {
+            cores: 1,
+            concurrency: 1,
+            duration_us: 1e6,
+            ..RunConfig::default()
+        };
         let m = Executor::new(config).run(&[fast, slow]);
         // Mean of alternating 10/1000 µs queries ≈ 505 µs.
-        assert!((m.mean_latency_us - 505.0).abs() < 20.0, "mean {}", m.mean_latency_us);
+        assert!(
+            (m.mean_latency_us - 505.0).abs() < 20.0,
+            "mean {}",
+            m.mean_latency_us
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Metrics of one simulated run — the quantities the paper reports.
 
+use sann_core::buf::ByteWriter;
 use sann_core::stats;
 use sann_ssdsim::{IoStats, IoTracer};
 
@@ -64,6 +65,41 @@ impl RunMetrics {
         }
     }
 
+    /// Serializes every field to a canonical little-endian byte string.
+    ///
+    /// Two runs are *bit-identical* iff their canonical byte strings are
+    /// equal — floats are encoded by their exact bit patterns, so this is
+    /// strictly stronger than comparing rounded report values. The
+    /// determinism audit (`sann-xtask lint --determinism`) runs the same
+    /// sweep twice and diffs these strings byte for byte.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut buf = ByteWriter::new();
+        buf.put_f64_le(self.qps);
+        buf.put_f64_le(self.mean_latency_us);
+        buf.put_f64_le(self.p50_latency_us);
+        buf.put_f64_le(self.p99_latency_us);
+        buf.put_f64_le(self.cpu_utilization);
+        buf.put_u64_le(self.completed);
+        buf.put_f64_le(self.read_bytes_per_query);
+        buf.put_f64_le(self.ios_per_query);
+        buf.put_u64_le(self.device_read_bytes);
+        buf.put_f64_le(self.mean_bandwidth_mib);
+        buf.put_u32_le(self.bandwidth_timeline_mib.len() as u32);
+        for &bw in &self.bandwidth_timeline_mib {
+            buf.put_f64_le(bw);
+        }
+        buf.put_u64_le(self.io_stats.reads);
+        buf.put_u64_le(self.io_stats.writes);
+        buf.put_u64_le(self.io_stats.read_bytes);
+        buf.put_u64_le(self.io_stats.write_bytes);
+        buf.put_u32_le(self.io_stats.size_histogram.len() as u32);
+        for (&size, &count) in &self.io_stats.size_histogram {
+            buf.put_u32_le(size);
+            buf.put_u64_le(count);
+        }
+        buf.into_bytes()
+    }
+
     /// Mean read bandwidth one query sustains over its own lifetime, MiB/s —
     /// the paper's Fig. 6/11/15 metric. Computed as mean bytes per query over
     /// mean query latency: it grows with dataset size (more bytes per query,
@@ -84,16 +120,7 @@ mod tests {
     #[test]
     fn assemble_computes_percentiles() {
         let latencies: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let m = RunMetrics::assemble(
-            10.0,
-            latencies,
-            0.5,
-            IoTracer::new(),
-            1e6,
-            10,
-            2048,
-            2,
-        );
+        let m = RunMetrics::assemble(10.0, latencies, 0.5, IoTracer::new(), 1e6, 10, 2048, 2);
         assert_eq!(m.p50_latency_us, 50.0);
         assert_eq!(m.p99_latency_us, 99.0);
         assert!((m.mean_latency_us - 50.5).abs() < 1e-9);
@@ -113,6 +140,19 @@ mod tests {
         assert_eq!(m.p99_latency_us, 0.0);
         assert_eq!(m.device_read_bytes, 0);
         assert_eq!(m.per_query_bandwidth_mib(), 0.0);
+    }
+
+    #[test]
+    fn canonical_bytes_distinguishes_metric_changes() {
+        let make = |qps: f64| {
+            RunMetrics::assemble(qps, vec![1.0, 2.0], 0.1, IoTracer::new(), 1e6, 2, 8192, 2)
+        };
+        let a = make(10.0);
+        assert_eq!(a.canonical_bytes(), make(10.0).canonical_bytes());
+        assert_ne!(a.canonical_bytes(), make(10.5).canonical_bytes());
+        let mut b = make(10.0);
+        b.bandwidth_timeline_mib.push(3.0);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
     }
 
     #[test]

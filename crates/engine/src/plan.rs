@@ -39,12 +39,18 @@ pub enum Segment {
 impl Segment {
     /// A serial CPU segment.
     pub fn cpu(total_us: f64) -> Segment {
-        Segment::Cpu { total_us, fanout: 1 }
+        Segment::Cpu {
+            total_us,
+            fanout: 1,
+        }
     }
 
     /// A fanned-out CPU segment.
     pub fn cpu_parallel(total_us: f64, fanout: usize) -> Segment {
-        Segment::Cpu { total_us, fanout: fanout.max(1) }
+        Segment::Cpu {
+            total_us,
+            fanout: fanout.max(1),
+        }
     }
 
     /// An I/O beam segment.
@@ -217,8 +223,7 @@ impl PlanBuilder {
                 TraceStep::Read { reqs } => {
                     pending_cpu += self.read_overhead_us;
                     if pending_cpu > 0.0 {
-                        segments
-                            .push(Segment::cpu_parallel(pending_cpu, self.intra_parallelism));
+                        segments.push(Segment::cpu_parallel(pending_cpu, self.intra_parallelism));
                         pending_cpu = 0.0;
                     }
                     let mut fanned = Vec::with_capacity(reqs.len() * self.io_fanout);
@@ -307,9 +312,15 @@ mod tests {
     fn work_multiplier_spares_overhead() {
         let cost = CostModel::default().with_overhead_us(100.0);
         let base = PlanBuilder::new(cost).build(&sample_trace()).cpu_us();
-        let scaled = PlanBuilder::new(cost).with_work_multiplier(3.0).build(&sample_trace());
+        let scaled = PlanBuilder::new(cost)
+            .with_work_multiplier(3.0)
+            .build(&sample_trace());
         let expect = 100.0 + (base - 100.0) * 3.0;
-        assert!((scaled.cpu_us() - expect).abs() < 1e-6, "{} vs {expect}", scaled.cpu_us());
+        assert!(
+            (scaled.cpu_us() - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            scaled.cpu_us()
+        );
     }
 
     #[test]
@@ -333,7 +344,12 @@ mod tests {
     fn read_overhead_charges_per_beam() {
         let cost = CostModel::default().with_overhead_us(0.0);
         let plain = PlanBuilder::new(cost).build(&sample_trace()).cpu_us();
-        let with = PlanBuilder::new(cost).with_read_overhead_us(200.0).build(&sample_trace());
-        assert!((with.cpu_us() - plain - 200.0).abs() < 1e-6, "one beam in the trace");
+        let with = PlanBuilder::new(cost)
+            .with_read_overhead_us(200.0)
+            .build(&sample_trace());
+        assert!(
+            (with.cpu_us() - plain - 200.0).abs() < 1e-6,
+            "one beam in the trace"
+        );
     }
 }

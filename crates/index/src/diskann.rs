@@ -34,7 +34,12 @@ pub struct DiskAnnConfig {
 
 impl Default for DiskAnnConfig {
     fn default() -> Self {
-        DiskAnnConfig { graph: VamanaConfig::default(), pq_m: 0, pq_ksub: 256, base_offset: 0 }
+        DiskAnnConfig {
+            graph: VamanaConfig::default(),
+            pq_m: 0,
+            pq_ksub: 256,
+            base_offset: 0,
+        }
     }
 }
 
@@ -76,21 +81,34 @@ impl DiskAnnIndex {
             // Default compression: one byte per 8 dimensions, but always a
             // divisor of dim.
             let target = (dim / 8).max(1);
-            (1..=target).rev().find(|m| dim % m == 0).unwrap_or(1)
+            (1..=target)
+                .rev()
+                .find(|&m| dim.is_multiple_of(m))
+                .unwrap_or(1)
         } else {
             config.pq_m
         };
-        if dim % pq_m != 0 {
-            return Err(Error::invalid_parameter("pq_m", format!("{pq_m} must divide dim {dim}")));
+        if !dim.is_multiple_of(pq_m) {
+            return Err(Error::invalid_parameter(
+                "pq_m",
+                format!("{pq_m} must divide dim {dim}"),
+            ));
         }
         let graph = VamanaGraph::build(data, metric, config.graph)?;
-        let ksub = config.pq_ksub.min(data.len().max(2) - 1).max(2).min(256);
+        let ksub = config.pq_ksub.min(data.len().max(2) - 1).clamp(2, 256);
         let pq = sann_quant::ProductQuantizer::train(data, pq_m, ksub, config.graph.seed ^ 0xD1)?;
         let codes = pq.encode_all(data);
         // Node record: full vector + degree + R neighbor slots.
         let node_bytes = (dim * 4 + 4 + graph.r() * 4) as u64;
         let layout = DiskLayout::new(data.len() as u64, node_bytes, config.base_offset);
-        Ok(DiskAnnIndex { data: data.clone(), metric, graph, pq, codes, layout })
+        Ok(DiskAnnIndex {
+            data: data.clone(),
+            metric,
+            graph,
+            pq,
+            codes,
+            layout,
+        })
     }
 
     /// The on-device layout (offsets/requests of node records).
@@ -142,7 +160,10 @@ impl VectorIndex for DiskAnnIndex {
     fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<SearchOutput> {
         let dim = self.data.dim();
         if query.len() != dim {
-            return Err(Error::DimensionMismatch { expected: dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: dim,
+                actual: query.len(),
+            });
         }
         if k == 0 {
             return Err(Error::invalid_parameter("k", "must be positive"));
@@ -204,7 +225,14 @@ impl VectorIndex for DiskAnnIndex {
                 if let Some(pos) = cands.iter().position(|c| c.id == id) {
                     cands.remove(pos);
                     let at = cands.partition_point(|x| x.pq_dist <= exact_d);
-                    cands.insert(at, Candidate { id, pq_dist: exact_d, visited: true });
+                    cands.insert(
+                        at,
+                        Candidate {
+                            id,
+                            pq_dist: exact_d,
+                            visited: true,
+                        },
+                    );
                 }
                 for &nb in self.graph.neighbors(id) {
                     if std::mem::replace(&mut seen[nb as usize], true) {
@@ -212,7 +240,15 @@ impl VectorIndex for DiskAnnIndex {
                     }
                     let d = table.distance_at(&self.codes, nb as usize);
                     pq_lookups += 1;
-                    insert_candidate(&mut cands, Candidate { id: nb, pq_dist: d, visited: false }, l);
+                    insert_candidate(
+                        &mut cands,
+                        Candidate {
+                            id: nb,
+                            pq_dist: d,
+                            visited: false,
+                        },
+                        l,
+                    );
                 }
             }
             trace.push_compute(frontier.len() as u64, dim as u32);
@@ -261,7 +297,10 @@ mod tests {
         let queries = model.generate_queries(30);
         let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
         let config = DiskAnnConfig {
-            graph: VamanaConfig { r: 32, ..VamanaConfig::default() },
+            graph: VamanaConfig {
+                r: 32,
+                ..VamanaConfig::default()
+            },
             pq_m: 32,
             pq_ksub: 64,
             base_offset: 0,
@@ -316,7 +355,11 @@ mod tests {
         // O-15: >99.99% of requests are 4 KiB. In our layout: all of them.
         let (_, queries, _, index) = build_small();
         let out = index
-            .search(queries.row(0), 10, &SearchParams::default().with_search_list(50))
+            .search(
+                queries.row(0),
+                10,
+                &SearchParams::default().with_search_list(50),
+            )
             .unwrap();
         for step in &out.trace.steps {
             if let crate::trace::TraceStep::Read { reqs } = step {
@@ -333,10 +376,22 @@ mod tests {
     fn beam_width_trades_hops_for_parallel_reads() {
         let (_, queries, _, index) = build_small();
         let narrow = index
-            .search(queries.row(1), 10, &SearchParams::default().with_search_list(50).with_beam_width(1))
+            .search(
+                queries.row(1),
+                10,
+                &SearchParams::default()
+                    .with_search_list(50)
+                    .with_beam_width(1),
+            )
             .unwrap();
         let wide = index
-            .search(queries.row(1), 10, &SearchParams::default().with_search_list(50).with_beam_width(8))
+            .search(
+                queries.row(1),
+                10,
+                &SearchParams::default()
+                    .with_search_list(50)
+                    .with_beam_width(8),
+            )
             .unwrap();
         assert!(
             wide.trace.hops() < narrow.trace.hops(),
@@ -351,7 +406,9 @@ mod tests {
     #[test]
     fn beam_width_one_matches_best_first_recall() {
         let (_, queries, gt, index) = build_small();
-        let p = SearchParams::default().with_search_list(30).with_beam_width(1);
+        let p = SearchParams::default()
+            .with_search_list(30)
+            .with_beam_width(1);
         let recall = mean_recall(&index, &queries, &gt, &p);
         assert!(recall > 0.9, "best-first recall {recall}");
     }
@@ -366,7 +423,10 @@ mod tests {
             index.memory_bytes(),
             raw_bytes
         );
-        assert!(index.storage_bytes() >= raw_bytes, "device holds full vectors + graph");
+        assert!(
+            index.storage_bytes() >= raw_bytes,
+            "device holds full vectors + graph"
+        );
     }
 
     #[test]
@@ -380,10 +440,17 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let (_, queries, _, index) = build_small();
-        assert!(index.search(&[0.0; 8], 10, &SearchParams::default()).is_err());
-        assert!(index.search(queries.row(0), 0, &SearchParams::default()).is_err());
+        assert!(index
+            .search(&[0.0; 8], 10, &SearchParams::default())
+            .is_err());
+        assert!(index
+            .search(queries.row(0), 0, &SearchParams::default())
+            .is_err());
         let data = EmbeddingModel::new(60, 2, 1).generate(100);
-        let bad = DiskAnnConfig { pq_m: 7, ..DiskAnnConfig::default() };
+        let bad = DiskAnnConfig {
+            pq_m: 7,
+            ..DiskAnnConfig::default()
+        };
         assert!(DiskAnnIndex::build(&data, Metric::L2, bad).is_err());
     }
 
@@ -393,7 +460,11 @@ mod tests {
             let model = EmbeddingModel::new(dim, 2, 1);
             let base = model.generate(300);
             let config = DiskAnnConfig {
-                graph: VamanaConfig { r: 8, l_build: 20, ..VamanaConfig::default() },
+                graph: VamanaConfig {
+                    r: 8,
+                    l_build: 20,
+                    ..VamanaConfig::default()
+                },
                 pq_ksub: 16,
                 ..DiskAnnConfig::default()
             };

@@ -30,7 +30,10 @@ pub struct FlatIndex {
 impl FlatIndex {
     /// Builds (copies) the index.
     pub fn build(data: &Dataset, metric: Metric) -> FlatIndex {
-        FlatIndex { data: data.clone(), metric }
+        FlatIndex {
+            data: data.clone(),
+            metric,
+        }
     }
 
     /// The metric searches use.
@@ -72,7 +75,10 @@ impl VectorIndex for FlatIndex {
         }
         let mut trace = QueryTrace::new();
         trace.push_compute(self.data.len() as u64, self.data.dim() as u32);
-        Ok(SearchOutput { neighbors: topk.into_sorted_vec(), trace })
+        Ok(SearchOutput {
+            neighbors: topk.into_sorted_vec(),
+            trace,
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -94,7 +100,9 @@ mod tests {
         let data = EmbeddingModel::new(16, 2, 1).generate(100);
         let index = FlatIndex::build(&data, Metric::L2);
         for i in (0..100).step_by(17) {
-            let out = index.search(data.row(i), 1, &SearchParams::default()).unwrap();
+            let out = index
+                .search(data.row(i), 1, &SearchParams::default())
+                .unwrap();
             assert_eq!(out.neighbors[0].id, i as u32);
         }
     }
@@ -103,7 +111,9 @@ mod tests {
     fn trace_counts_full_scan() {
         let data = EmbeddingModel::new(16, 2, 1).generate(100);
         let index = FlatIndex::build(&data, Metric::L2);
-        let out = index.search(data.row(0), 5, &SearchParams::default()).unwrap();
+        let out = index
+            .search(data.row(0), 5, &SearchParams::default())
+            .unwrap();
         assert_eq!(out.trace.compute_count(), 100);
         assert_eq!(out.trace.io_count(), 0);
         assert_eq!(index.memory_bytes(), 100 * 16 * 4);
@@ -114,15 +124,21 @@ mod tests {
     fn rejects_wrong_dim_and_zero_k() {
         let data = EmbeddingModel::new(16, 2, 1).generate(10);
         let index = FlatIndex::build(&data, Metric::L2);
-        assert!(index.search(&[1.0; 8], 1, &SearchParams::default()).is_err());
-        assert!(index.search(&[1.0; 16], 0, &SearchParams::default()).is_err());
+        assert!(index
+            .search(&[1.0; 8], 1, &SearchParams::default())
+            .is_err());
+        assert!(index
+            .search(&[1.0; 16], 0, &SearchParams::default())
+            .is_err());
     }
 
     #[test]
     fn results_are_sorted_by_distance() {
         let data = EmbeddingModel::new(8, 2, 2).generate(50);
         let index = FlatIndex::build(&data, Metric::L2);
-        let out = index.search(data.row(0), 10, &SearchParams::default()).unwrap();
+        let out = index
+            .search(data.row(0), 10, &SearchParams::default())
+            .unwrap();
         for pair in out.neighbors.windows(2) {
             assert!(pair[0].dist <= pair[1].dist);
         }

@@ -32,7 +32,12 @@ pub struct FreshConfig {
 
 impl Default for FreshConfig {
     fn default() -> Self {
-        FreshConfig { graph: VamanaConfig::default(), l_insert: 75, pq_m: 0, pq_ksub: 256 }
+        FreshConfig {
+            graph: VamanaConfig::default(),
+            l_insert: 75,
+            pq_m: 0,
+            pq_ksub: 256,
+        }
     }
 }
 
@@ -76,16 +81,24 @@ impl FreshDiskAnnIndex {
         let dim = data.dim();
         let pq_m = if config.pq_m == 0 {
             let target = (dim / 8).max(1);
-            (1..=target).rev().find(|m| dim % m == 0).unwrap_or(1)
+            (1..=target)
+                .rev()
+                .find(|&m| dim.is_multiple_of(m))
+                .unwrap_or(1)
         } else {
             config.pq_m
         };
         let graph = VamanaGraph::build(data, metric, config.graph)?;
-        let ksub = config.pq_ksub.min(data.len().saturating_sub(1)).max(2).min(256);
+        let ksub = config
+            .pq_ksub
+            .min(data.len().saturating_sub(1))
+            .clamp(2, 256);
         let pq = ProductQuantizer::train(data, pq_m, ksub, config.graph.seed ^ 0xF8E5)?;
         let codes = pq.encode_all(data);
         let r = graph.r();
-        let adj = (0..data.len() as u32).map(|i| graph.neighbors(i).to_vec()).collect();
+        let adj = (0..data.len() as u32)
+            .map(|i| graph.neighbors(i).to_vec())
+            .collect();
         let node_bytes = (dim * 4 + 4 + r * 4) as u64;
         Ok(FreshDiskAnnIndex {
             data: data.clone(),
@@ -160,7 +173,9 @@ impl FreshDiskAnnIndex {
                     let nv = self.data.row(nb as usize);
                     let cands: Vec<Neighbor> = adj
                         .iter()
-                        .map(|&x| Neighbor::new(x, self.metric.distance(nv, self.data.row(x as usize))))
+                        .map(|&x| {
+                            Neighbor::new(x, self.metric.distance(nv, self.data.row(x as usize)))
+                        })
                         .collect();
                     self.adj[nb as usize] =
                         robust_prune(&self.data, self.metric, nb, cands, alpha, self.r);
@@ -191,7 +206,10 @@ impl FreshDiskAnnIndex {
         let slot = self
             .deleted
             .get_mut(id as usize)
-            .ok_or(Error::IdOutOfBounds { id: id as u64, len: self.adj.len() as u64 })?;
+            .ok_or(Error::IdOutOfBounds {
+                id: id as u64,
+                len: self.adj.len() as u64,
+            })?;
         if *slot {
             return Err(Error::NotFound(format!("vector {id} already deleted")));
         }
@@ -227,7 +245,10 @@ impl FreshDiskAnnIndex {
                         }
                     }
                 } else {
-                    cands.push(Neighbor::new(n, self.metric.distance(pv, self.data.row(n as usize))));
+                    cands.push(Neighbor::new(
+                        n,
+                        self.metric.distance(pv, self.data.row(n as usize)),
+                    ));
                 }
             }
             self.adj[p] = robust_prune(&self.data, self.metric, p as u32, cands, alpha, self.r);
@@ -404,7 +425,11 @@ mod tests {
 
     fn config() -> FreshConfig {
         FreshConfig {
-            graph: VamanaConfig { r: 24, l_build: 50, ..Default::default() },
+            graph: VamanaConfig {
+                r: 24,
+                l_build: 50,
+                ..Default::default()
+            },
             l_insert: 50,
             pq_m: 16,
             pq_ksub: 64,
@@ -454,10 +479,14 @@ mod tests {
     fn deleted_vectors_leave_results_immediately() {
         let (base, _, mut index) = build_small(1_000);
         let q = base.row(123).to_vec();
-        let before = index.search(&q, 1, &SearchParams::default().with_search_list(40)).unwrap();
+        let before = index
+            .search(&q, 1, &SearchParams::default().with_search_list(40))
+            .unwrap();
         assert_eq!(before.neighbors[0].id, 123);
         index.delete(123).unwrap();
-        let after = index.search(&q, 5, &SearchParams::default().with_search_list(40)).unwrap();
+        let after = index
+            .search(&q, 5, &SearchParams::default().with_search_list(40))
+            .unwrap();
         assert!(after.neighbors.iter().all(|n| n.id != 123));
         assert!(index.delete(123).is_err(), "double delete");
         assert!(index.delete(9999).is_err(), "unknown id");
@@ -471,18 +500,30 @@ mod tests {
             index.delete(id).unwrap();
         }
         let repaired = index.consolidate();
-        assert!(repaired > 0, "consolidation must repair in-edges of tombstones");
+        assert!(
+            repaired > 0,
+            "consolidation must repair in-edges of tombstones"
+        );
         // Recall against the surviving ground truth stays high.
         let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 30);
         let params = SearchParams::default().with_search_list(60);
         let mut total = 0.0;
         for (i, q) in queries.iter().enumerate() {
             let out = index.search(q, 10, &params).unwrap();
-            let truth: Vec<u32> =
-                gt.neighbors(i).iter().copied().filter(|&t| t % 3 != 0).take(10).collect();
+            let truth: Vec<u32> = gt
+                .neighbors(i)
+                .iter()
+                .copied()
+                .filter(|&t| !t.is_multiple_of(3))
+                .take(10)
+                .collect();
             total += recall_at_k(&truth, &out.ids(), 10);
         }
-        assert!(total / 25.0 > 0.85, "post-consolidation recall {}", total / 25.0);
+        assert!(
+            total / 25.0 > 0.85,
+            "post-consolidation recall {}",
+            total / 25.0
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use crate::trace::{QueryTrace, SearchOutput};
 use crate::{par, SearchParams, VectorIndex};
-use parking_lot::{Mutex, RwLock};
 use sann_core::rng::SplitMix64;
+use sann_core::sync::{Mutex, RwLock};
 use sann_core::{Dataset, Error, Metric, Neighbor, Result, TopK};
 use std::collections::BinaryHeap;
 
@@ -37,7 +37,12 @@ pub struct HnswConfig {
 impl Default for HnswConfig {
     /// The paper's build parameters: `M = 16`, `efConstruction = 200`.
     fn default() -> Self {
-        HnswConfig { m: 16, ef_construction: 200, seed: 0x45_4653, threads: 0 }
+        HnswConfig {
+            m: 16,
+            ef_construction: 200,
+            seed: 0x45_4653,
+            threads: 0,
+        }
     }
 }
 
@@ -195,8 +200,10 @@ impl Builder<'_> {
                 if adj.len() > cap {
                     // Re-prune the overflowing node with the same heuristic.
                     let nv = self.data.row(n as usize);
-                    let mut cands: Vec<Neighbor> =
-                        adj.iter().map(|&x| Neighbor::new(x, self.dist(nv, x))).collect();
+                    let mut cands: Vec<Neighbor> = adj
+                        .iter()
+                        .map(|&x| Neighbor::new(x, self.dist(nv, x)))
+                        .collect();
                     cands.sort_unstable();
                     *adj = self.select_neighbors(&cands, cap);
                 }
@@ -254,7 +261,11 @@ impl HnswIndex {
         // Seed the entry point with node 0 at its own level.
         *builder.entry.write() = (0, builder.levels[0]);
 
-        let threads = if config.threads == 0 { par::default_threads() } else { config.threads };
+        let threads = if config.threads == 0 {
+            par::default_threads()
+        } else {
+            config.threads
+        };
         // Node 0 is already the entry; insert the rest. Parallel ranges each
         // insert their ids in order, which matches hnswlib's behaviour.
         par::par_ranges(n - 1, threads, |start, end| {
@@ -269,7 +280,14 @@ impl HnswIndex {
             .into_iter()
             .map(|per_level| per_level.into_iter().map(|m| m.into_inner()).collect())
             .collect();
-        Ok(HnswIndex { data: data.clone(), metric, links, entry, max_level, config })
+        Ok(HnswIndex {
+            data: data.clone(),
+            metric,
+            links,
+            entry,
+            max_level,
+            config,
+        })
     }
 
     /// The entry node id.
@@ -290,7 +308,11 @@ impl HnswIndex {
     /// Degree of `id` at `level` (diagnostics); 0 when the node does not
     /// reach that level.
     pub fn degree(&self, id: u32, level: usize) -> usize {
-        self.links.get(id as usize).and_then(|l| l.get(level)).map(Vec::len).unwrap_or(0)
+        self.links
+            .get(id as usize)
+            .and_then(|l| l.get(level))
+            .map(Vec::len)
+            .unwrap_or(0)
     }
 
     /// Query-time graph search with a pluggable distance oracle: greedy
@@ -308,7 +330,10 @@ impl HnswIndex {
             let mut best = dist(ep);
             loop {
                 let mut improved = false;
-                let adj = self.links[ep as usize].get(l).map(Vec::as_slice).unwrap_or(&[]);
+                let adj = self.links[ep as usize]
+                    .get(l)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
                 for &n in adj {
                     let d = dist(n);
                     if d < best {
@@ -399,7 +424,10 @@ impl VectorIndex for HnswIndex {
         found.truncate(k);
         let mut trace = QueryTrace::new();
         trace.push_compute(dists, self.data.dim() as u32);
-        Ok(SearchOutput { neighbors: found, trace })
+        Ok(SearchOutput {
+            neighbors: found,
+            trace,
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -407,7 +435,12 @@ impl VectorIndex for HnswIndex {
         let edges: u64 = self
             .links
             .iter()
-            .map(|per_level| per_level.iter().map(|adj| 4 * adj.len() as u64).sum::<u64>())
+            .map(|per_level| {
+                per_level
+                    .iter()
+                    .map(|adj| 4 * adj.len() as u64)
+                    .sum::<u64>()
+            })
             .sum();
         vectors + edges
     }
@@ -428,7 +461,10 @@ mod tests {
         let base = model.generate(2_000);
         let queries = model.generate_queries(30);
         let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
-        let config = HnswConfig { threads, ..HnswConfig::default() };
+        let config = HnswConfig {
+            threads,
+            ..HnswConfig::default()
+        };
         let index = HnswIndex::build(&base, Metric::L2, config).unwrap();
         (base, queries, gt, index)
     }
@@ -463,7 +499,10 @@ mod tests {
         let (_, queries, gt, index) = build_small(0);
         let low = mean_recall(&index, &queries, &gt, 10);
         let high = mean_recall(&index, &queries, &gt, 128);
-        assert!(high >= low - 0.02, "ef=128 recall {high} << ef=10 recall {low}");
+        assert!(
+            high >= low - 0.02,
+            "ef=128 recall {high} << ef=10 recall {low}"
+        );
         assert!(high > 0.95);
     }
 
@@ -472,9 +511,15 @@ mod tests {
         let (_, _, _, index) = build_small(0);
         let m = index.config().m;
         for id in 0..index.len() as u32 {
-            assert!(index.degree(id, 0) <= 2 * m, "layer-0 degree cap violated at {id}");
+            assert!(
+                index.degree(id, 0) <= 2 * m,
+                "layer-0 degree cap violated at {id}"
+            );
             for l in 1..=index.max_level() {
-                assert!(index.degree(id, l) <= m, "layer-{l} degree cap violated at {id}");
+                assert!(
+                    index.degree(id, l) <= m,
+                    "layer-{l} degree cap violated at {id}"
+                );
             }
         }
     }
@@ -483,7 +528,9 @@ mod tests {
     fn finds_self_exactly() {
         let (base, _, _, index) = build_small(0);
         for i in (0..base.len()).step_by(211) {
-            let out = index.search(base.row(i), 1, &SearchParams::default()).unwrap();
+            let out = index
+                .search(base.row(i), 1, &SearchParams::default())
+                .unwrap();
             assert_eq!(out.neighbors[0].id, i as u32, "query {i}");
         }
     }
@@ -492,10 +539,18 @@ mod tests {
     fn trace_scales_with_ef() {
         let (_, queries, _, index) = build_small(0);
         let small = index
-            .search(queries.row(0), 10, &SearchParams::default().with_ef_search(10))
+            .search(
+                queries.row(0),
+                10,
+                &SearchParams::default().with_ef_search(10),
+            )
             .unwrap();
         let large = index
-            .search(queries.row(0), 10, &SearchParams::default().with_ef_search(200))
+            .search(
+                queries.row(0),
+                10,
+                &SearchParams::default().with_ef_search(200),
+            )
             .unwrap();
         assert!(large.trace.compute_count() > small.trace.compute_count());
         assert_eq!(small.trace.io_count(), 0);
@@ -505,7 +560,11 @@ mod tests {
     fn search_visits_tiny_fraction_of_dataset() {
         let (base, queries, _, index) = build_small(0);
         let out = index
-            .search(queries.row(0), 10, &SearchParams::default().with_ef_search(27))
+            .search(
+                queries.row(0),
+                10,
+                &SearchParams::default().with_ef_search(27),
+            )
             .unwrap();
         assert!(
             out.trace.compute_count() < (base.len() / 4) as u64,
@@ -523,19 +582,28 @@ mod tests {
         assert!(HnswIndex::build(
             &data,
             Metric::L2,
-            HnswConfig { m: 1, ..HnswConfig::default() }
+            HnswConfig {
+                m: 1,
+                ..HnswConfig::default()
+            }
         )
         .is_err());
         let index = HnswIndex::build(&data, Metric::L2, HnswConfig::default()).unwrap();
-        assert!(index.search(&[0.0; 4], 1, &SearchParams::default()).is_err());
-        assert!(index.search(&[0.0; 8], 0, &SearchParams::default()).is_err());
+        assert!(index
+            .search(&[0.0; 4], 1, &SearchParams::default())
+            .is_err());
+        assert!(index
+            .search(&[0.0; 8], 0, &SearchParams::default())
+            .is_err());
     }
 
     #[test]
     fn single_element_index_works() {
         let data = Dataset::from_rows(vec![vec![1.0, 2.0]]).unwrap();
         let index = HnswIndex::build(&data, Metric::L2, HnswConfig::default()).unwrap();
-        let out = index.search(&[1.0, 2.0], 5, &SearchParams::default()).unwrap();
+        let out = index
+            .search(&[1.0, 2.0], 5, &SearchParams::default())
+            .unwrap();
         assert_eq!(out.neighbors.len(), 1);
         assert_eq!(out.neighbors[0].id, 0);
     }

@@ -19,7 +19,7 @@ use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::layout::SECTOR_BYTES;
 use crate::trace::{IoReq, QueryTrace, SearchOutput};
 use crate::{SearchParams, VectorIndex};
-use parking_lot::Mutex;
+use sann_core::sync::Mutex;
 use sann_core::{Dataset, Error, Metric, Result};
 use sann_ssdsim::PageCache;
 
@@ -142,7 +142,10 @@ impl VectorIndex for MmapHnswIndex {
             ef,
         );
         found.truncate(k);
-        Ok(SearchOutput { neighbors: found, trace: into_inner(trace) })
+        Ok(SearchOutput {
+            neighbors: found,
+            trace: into_inner(trace),
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -187,13 +190,21 @@ mod tests {
         // Warm-up pass.
         let mut cold_reads = 0u64;
         for q in queries.iter() {
-            cold_reads += index.search(q, 10, &SearchParams::default()).unwrap().trace.io_count();
+            cold_reads += index
+                .search(q, 10, &SearchParams::default())
+                .unwrap()
+                .trace
+                .io_count();
         }
         assert!(cold_reads > 0, "cold cache must fault");
         // Repeat pass: everything cached.
         let mut warm_reads = 0u64;
         for q in queries.iter() {
-            warm_reads += index.search(q, 10, &SearchParams::default()).unwrap().trace.io_count();
+            warm_reads += index
+                .search(q, 10, &SearchParams::default())
+                .unwrap()
+                .trace
+                .io_count();
         }
         assert_eq!(warm_reads, 0, "warm cache must not fault");
     }
@@ -209,7 +220,11 @@ mod tests {
         }
         let mut steady = 0u64;
         for q in queries.iter() {
-            steady += index.search(q, 10, &SearchParams::default()).unwrap().trace.io_count();
+            steady += index
+                .search(q, 10, &SearchParams::default())
+                .unwrap()
+                .trace
+                .io_count();
         }
         assert!(steady > 0, "a thrashing cache keeps reading");
         let (hits, misses) = index.cache_counters();
@@ -237,8 +252,11 @@ mod tests {
             index.search(q, 10, &SearchParams::default()).unwrap();
         }
         index.drop_caches();
-        let reads =
-            index.search(queries.row(0), 10, &SearchParams::default()).unwrap().trace.io_count();
+        let reads = index
+            .search(queries.row(0), 10, &SearchParams::default())
+            .unwrap()
+            .trace
+            .io_count();
         assert!(reads > 0, "dropped caches must fault again");
     }
 
@@ -246,7 +264,9 @@ mod tests {
     fn reads_are_4k_sector_aligned() {
         let (base, queries) = world();
         let index = MmapHnswIndex::build(&base, Metric::L2, HnswConfig::default(), 0).unwrap();
-        let out = index.search(queries.row(0), 10, &SearchParams::default()).unwrap();
+        let out = index
+            .search(queries.row(0), 10, &SearchParams::default())
+            .unwrap();
         for step in &out.trace.steps {
             if let crate::trace::TraceStep::Read { reqs } = step {
                 for r in reqs {

@@ -99,13 +99,16 @@ impl VectorIndex for HnswSqIndex {
         // An asymmetric SQ distance costs about the same as a full-precision
         // distance of the same dimensionality (decode + subtract + FMA).
         trace.push_compute(dists, self.inner.dim() as u32);
-        Ok(SearchOutput { neighbors: found, trace })
+        Ok(SearchOutput {
+            neighbors: found,
+            trace,
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
         // Codes replace full-precision vectors at query time; edges stay.
-        let edges = self.inner.memory_bytes()
-            - (self.inner.len() * self.inner.data().row_bytes()) as u64;
+        let edges =
+            self.inner.memory_bytes() - (self.inner.len() * self.inner.data().row_bytes()) as u64;
         self.codes.len() as u64 + edges
     }
 
@@ -175,6 +178,8 @@ mod tests {
     fn rejects_bad_inputs() {
         let (_, queries, _, sq, _) = build_small();
         assert!(sq.search(&[0.0; 3], 10, &SearchParams::default()).is_err());
-        assert!(sq.search(queries.row(0), 0, &SearchParams::default()).is_err());
+        assert!(sq
+            .search(queries.row(0), 0, &SearchParams::default())
+            .is_err());
     }
 }

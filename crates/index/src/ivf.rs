@@ -28,7 +28,12 @@ pub struct IvfConfig {
 
 impl Default for IvfConfig {
     fn default() -> Self {
-        IvfConfig { nlist: 1024, train_sample: 100_000, kmeans_iters: 12, seed: 0x11F }
+        IvfConfig {
+            nlist: 1024,
+            train_sample: 100_000,
+            kmeans_iters: 12,
+            seed: 0x11F,
+        }
     }
 }
 
@@ -71,7 +76,12 @@ impl IvfIndex {
         for (id, &c) in kmeans.assignments.iter().enumerate() {
             lists[c as usize].push(id as u32);
         }
-        Ok(IvfIndex { data: data.clone(), metric, kmeans, lists })
+        Ok(IvfIndex {
+            data: data.clone(),
+            metric,
+            kmeans,
+            lists,
+        })
     }
 
     /// Number of clusters.
@@ -121,7 +131,10 @@ impl VectorIndex for IvfIndex {
             scanned += self.lists[c as usize].len() as u64;
         }
         trace.push_compute(scanned, self.data.dim() as u32);
-        Ok(SearchOutput { neighbors: topk.into_sorted_vec(), trace })
+        Ok(SearchOutput {
+            neighbors: topk.into_sorted_vec(),
+            trace,
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -261,7 +274,10 @@ impl VectorIndex for IvfPqIndex {
             }
             trace.push_pq_lookup(list.len() as u64, self.pq.m() as u32);
         }
-        Ok(SearchOutput { neighbors: topk.into_sorted_vec(), trace })
+        Ok(SearchOutput {
+            neighbors: topk.into_sorted_vec(),
+            trace,
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -276,7 +292,10 @@ impl VectorIndex for IvfPqIndex {
 
 fn validate_query(query: &[f32], dim: usize, k: usize) -> Result<()> {
     if query.len() != dim {
-        return Err(Error::DimensionMismatch { expected: dim, actual: query.len() });
+        return Err(Error::DimensionMismatch {
+            expected: dim,
+            actual: query.len(),
+        });
     }
     if k == 0 {
         return Err(Error::invalid_parameter("k", "must be positive"));
@@ -316,8 +335,8 @@ mod tests {
     #[test]
     fn more_probes_cannot_reduce_recall() {
         let (base, queries, gt) = setup();
-        let index = IvfIndex::build(&base, Metric::L2, IvfConfig::default().with_nlist(64))
-            .unwrap();
+        let index =
+            IvfIndex::build(&base, Metric::L2, IvfConfig::default().with_nlist(64)).unwrap();
         let mut last = 0.0;
         for nprobe in [1, 4, 16, 64] {
             let params = SearchParams::default().with_nprobe(nprobe);
@@ -327,7 +346,10 @@ mod tests {
                 total += recall_at_k(gt.neighbors(i), &out.ids(), 10);
             }
             let recall = total / queries.len() as f64;
-            assert!(recall >= last - 1e-9, "recall decreased: {last} -> {recall}");
+            assert!(
+                recall >= last - 1e-9,
+                "recall decreased: {last} -> {recall}"
+            );
             last = recall;
         }
         assert!((last - 1.0).abs() < 1e-9, "nprobe == nlist must be exact");
@@ -336,8 +358,8 @@ mod tests {
     #[test]
     fn ivf_trace_counts_probed_fraction() {
         let (base, queries, _) = setup();
-        let index = IvfIndex::build(&base, Metric::L2, IvfConfig::default().with_nlist(100))
-            .unwrap();
+        let index =
+            IvfIndex::build(&base, Metric::L2, IvfConfig::default().with_nlist(100)).unwrap();
         let out = index
             .search(queries.row(0), 10, &SearchParams::default().with_nprobe(10))
             .unwrap();
@@ -378,8 +400,16 @@ mod tests {
         let params = SearchParams::default().with_nprobe(50); // exhaustive probes
         let (mut r_flat, mut r_pq) = (0.0, 0.0);
         for (i, q) in queries.iter().enumerate() {
-            r_flat += recall_at_k(gt.neighbors(i), &flat.search(q, 10, &params).unwrap().ids(), 10);
-            r_pq += recall_at_k(gt.neighbors(i), &pq.search(q, 10, &params).unwrap().ids(), 10);
+            r_flat += recall_at_k(
+                gt.neighbors(i),
+                &flat.search(q, 10, &params).unwrap().ids(),
+                10,
+            );
+            r_pq += recall_at_k(
+                gt.neighbors(i),
+                &pq.search(q, 10, &params).unwrap().ids(),
+                10,
+            );
         }
         assert!(r_flat > r_pq, "flat {r_flat} should beat pq {r_pq}");
         assert!(r_pq / queries.len() as f64 > 0.3, "pq recall collapsed");

@@ -42,7 +42,11 @@ impl DiskLayout {
     /// Panics if `node_bytes` is zero or `base_offset` is not sector-aligned.
     pub fn new(n_nodes: u64, node_bytes: u64, base_offset: u64) -> DiskLayout {
         assert!(node_bytes > 0, "node_bytes must be positive");
-        assert_eq!(base_offset % SECTOR_BYTES, 0, "base offset must be sector-aligned");
+        assert_eq!(
+            base_offset % SECTOR_BYTES,
+            0,
+            "base offset must be sector-aligned"
+        );
         if node_bytes <= SECTOR_BYTES {
             DiskLayout {
                 node_bytes,
@@ -89,8 +93,8 @@ impl DiskLayout {
     /// Panics if `id >= n_nodes`.
     pub fn node_offset(&self, id: u64) -> u64 {
         assert!(id < self.n_nodes, "node id out of range");
-        if self.nodes_per_sector > 0 {
-            self.base_offset + (id / self.nodes_per_sector) * SECTOR_BYTES
+        if let Some(sector) = id.checked_div(self.nodes_per_sector) {
+            self.base_offset + sector * SECTOR_BYTES
         } else {
             self.base_offset + id * self.sectors_per_node * SECTOR_BYTES
         }
@@ -162,7 +166,10 @@ mod tests {
         assert_eq!(layout.sectors_per_node(), 2);
         let reqs = layout.node_reqs(3);
         assert_eq!(reqs.len(), 2);
-        assert!(reqs.iter().all(|r| r.len == 4096), "O-15: requests stay 4 KiB");
+        assert!(
+            reqs.iter().all(|r| r.len == 4096),
+            "O-15: requests stay 4 KiB"
+        );
         assert_eq!(reqs[0].offset, 3 * 2 * 4096);
         assert_eq!(reqs[1].offset, 3 * 2 * 4096 + 4096);
     }

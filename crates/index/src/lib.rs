@@ -85,7 +85,12 @@ impl Default for SearchParams {
     /// The paper's Table II defaults: `nprobe` tuned per dataset (16 here),
     /// `efSearch` 27, `search_list` 10, `beam_width` 4.
     fn default() -> Self {
-        SearchParams { nprobe: 16, ef_search: 27, search_list: 10, beam_width: 4 }
+        SearchParams {
+            nprobe: 16,
+            ef_search: 27,
+            search_list: 10,
+            beam_width: 4,
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//! Minimal data-parallel helpers built on std scoped threads.
 //!
 //! The workspace deliberately avoids a work-stealing runtime dependency;
 //! index builds only need "run this closure over id ranges on all cores".
@@ -15,7 +15,7 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let f = &f;
             let start = t * chunk;
@@ -23,15 +23,16 @@ where
             if start >= end {
                 continue;
             }
-            scope.spawn(move |_| f(start, end));
+            scope.spawn(move || f(start, end));
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Number of worker threads to use for builds: all available cores.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -44,8 +45,8 @@ mod tests {
         let n = 1000;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         par_ranges(n, 7, |start, end| {
-            for i in start..end {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[start..end] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));

@@ -52,7 +52,7 @@ impl Default for SpannConfig {
             max_replicas: 8,
             query_epsilon: 0.6,
             centroid_index: HnswConfig::default(),
-            seed: 0x59A_44,
+            seed: 0x0005_9A44,
         }
     }
 }
@@ -214,7 +214,11 @@ impl VectorIndex for SpannIndex {
 
         // Stage 2: query-time pruning (skip clusters much farther than the
         // nearest candidate), then read + scan the surviving posting lists.
-        let nearest = centroid_out.neighbors.first().map(|n| n.dist).unwrap_or(0.0);
+        let nearest = centroid_out
+            .neighbors
+            .first()
+            .map(|n| n.dist)
+            .unwrap_or(0.0);
         let prune = (1.0 + self.config.query_epsilon) * (1.0 + self.config.query_epsilon);
         let mut topk = TopK::new(k);
         let mut scanned = 0u64;
@@ -234,7 +238,10 @@ impl VectorIndex for SpannIndex {
         }
         trace.push_compute(scanned, self.data.dim() as u32);
 
-        Ok(SearchOutput { neighbors: topk.into_sorted_vec(), trace })
+        Ok(SearchOutput {
+            neighbors: topk.into_sorted_vec(),
+            trace,
+        })
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -287,7 +294,10 @@ mod tests {
         assert!(factor > 1.05, "closure assignment must replicate: {factor}");
         assert!(factor <= 8.0, "replication is capped at 8: {factor}");
         let raw = (base.len() * base.row_bytes()) as u64;
-        assert!(index.storage_bytes() > raw, "space amplification on the device");
+        assert!(
+            index.storage_bytes() > raw,
+            "space amplification on the device"
+        );
     }
 
     #[test]
@@ -300,7 +310,10 @@ mod tests {
             &base,
             Metric::L2,
             crate::DiskAnnConfig {
-                graph: crate::VamanaConfig { r: 32, ..Default::default() },
+                graph: crate::VamanaConfig {
+                    r: 32,
+                    ..Default::default()
+                },
                 pq_m: 16,
                 pq_ksub: 64,
                 base_offset: 0,
@@ -308,7 +321,9 @@ mod tests {
         )
         .unwrap();
         let q = queries.row(0);
-        let s_out = spann.search(q, 10, &SearchParams::default().with_nprobe(8)).unwrap();
+        let s_out = spann
+            .search(q, 10, &SearchParams::default().with_nprobe(8))
+            .unwrap();
         let d_out = diskann
             .search(q, 10, &SearchParams::default().with_search_list(30))
             .unwrap();
@@ -328,7 +343,10 @@ mod tests {
     fn memory_holds_centroids_not_vectors() {
         let (base, _, _, index) = build_small();
         let raw = (base.len() * base.row_bytes()) as u64;
-        assert!(index.memory_bytes() < raw / 4, "only centroids stay in memory");
+        assert!(
+            index.memory_bytes() < raw / 4,
+            "only centroids stay in memory"
+        );
     }
 
     #[test]
@@ -342,22 +360,33 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let (_, queries, _, index) = build_small();
-        assert!(index.search(&[0.0; 8], 10, &SearchParams::default()).is_err());
-        assert!(index.search(queries.row(0), 0, &SearchParams::default()).is_err());
+        assert!(index
+            .search(&[0.0; 8], 10, &SearchParams::default())
+            .is_err());
+        assert!(index
+            .search(queries.row(0), 0, &SearchParams::default())
+            .is_err());
         let tiny = EmbeddingModel::new(8, 2, 1).generate(50);
         assert!(SpannIndex::build(
             &tiny,
             Metric::L2,
-            SpannConfig { max_replicas: 0, ..Default::default() }
+            SpannConfig {
+                max_replicas: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(SpannIndex::build(
             &tiny,
             Metric::L2,
-            SpannConfig { epsilon: -1.0, ..Default::default() }
+            SpannConfig {
+                epsilon: -1.0,
+                ..Default::default()
+            }
         )
         .is_err());
-        assert!(SpannIndex::build(&Dataset::with_dim(4), Metric::L2, SpannConfig::default())
-            .is_err());
+        assert!(
+            SpannIndex::build(&Dataset::with_dim(4), Metric::L2, SpannConfig::default()).is_err()
+        );
     }
 }

@@ -8,7 +8,10 @@
 //! [`TraceStep::Read`] carries the batch of requests issued together (the
 //! DiskANN beam), and the engine lets them proceed concurrently.
 
-use sann_core::Neighbor;
+use sann_core::{Error, Neighbor, Result};
+
+/// Sector size every storage-resident layout in this workspace is built on.
+const SECTOR_BYTES: u64 = 4096;
 
 /// One block-level read request, 4 KiB-aligned by construction of the disk
 /// layouts in [`crate::layout`].
@@ -130,7 +133,10 @@ impl QueryTrace {
 
     /// Number of read beams (graph hops for DiskANN).
     pub fn hops(&self) -> u64 {
-        self.steps.iter().filter(|s| matches!(s, TraceStep::Read { .. })).count() as u64
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::Read { .. }))
+            .count() as u64
     }
 
     /// Total full-precision distance evaluations.
@@ -142,6 +148,66 @@ impl QueryTrace {
                 _ => 0,
             })
             .sum()
+    }
+
+    /// Checks the structural invariants every trace must satisfy before it
+    /// is handed to the execution engine:
+    ///
+    /// - compute / PQ-lookup steps carry non-zero work at non-zero width;
+    /// - read beams are non-empty (an empty beam would be a zero-length
+    ///   dependency barrier — a plan-construction bug);
+    /// - every [`IoReq`] is whole-sector: 4 KiB-aligned offset and a
+    ///   positive, 4 KiB-multiple length (the layouts in [`crate::layout`]
+    ///   construct requests this way; anything else would silently model
+    ///   sub-sector device traffic);
+    /// - no beam is wider than `max_beam` requests (`0` = unlimited, for
+    ///   index types without a beam-width knob).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] naming the first violated
+    /// invariant and the step index.
+    pub fn validate(&self, max_beam: usize) -> Result<()> {
+        let bad = |step: usize, what: String| {
+            Err(Error::invalid_parameter(
+                "trace",
+                format!("step {step}: {what}"),
+            ))
+        };
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                TraceStep::Compute { count, dim } => {
+                    if *count == 0 || *dim == 0 {
+                        return bad(i, format!("degenerate compute ({count} x dim {dim})"));
+                    }
+                }
+                TraceStep::PqLookup { count, m } => {
+                    if *count == 0 || *m == 0 {
+                        return bad(i, format!("degenerate pq lookup ({count} x m {m})"));
+                    }
+                }
+                TraceStep::Read { reqs } => {
+                    if reqs.is_empty() {
+                        return bad(i, "empty read beam".to_string());
+                    }
+                    if max_beam > 0 && reqs.len() > max_beam {
+                        return bad(
+                            i,
+                            format!("beam of {} exceeds beam_width {max_beam}", reqs.len()),
+                        );
+                    }
+                    for r in reqs {
+                        if !r.offset.is_multiple_of(SECTOR_BYTES) {
+                            return bad(i, format!("unaligned read at offset {}", r.offset));
+                        }
+                        if r.len == 0 || !(r.len as u64).is_multiple_of(SECTOR_BYTES) {
+                            return bad(i, format!("non-sector read length {}", r.len));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total PQ lookups.
@@ -208,6 +274,45 @@ mod tests {
         t.push_pq_lookup(0, 8);
         t.push_read(vec![]);
         assert!(t.steps.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_traces() {
+        let mut t = QueryTrace::new();
+        t.push_compute(10, 768);
+        t.push_read(vec![IoReq::new(0, 4096), IoReq::new(8192, 8192)]);
+        t.push_pq_lookup(64, 48);
+        assert!(t.validate(2).is_ok());
+        assert!(t.validate(0).is_ok(), "0 means unlimited beam");
+        assert!(t.validate(1).is_err(), "beam of 2 must violate width 1");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_steps() {
+        let unaligned = QueryTrace {
+            steps: vec![TraceStep::Read {
+                reqs: vec![IoReq::new(100, 4096)],
+            }],
+        };
+        assert!(unaligned.validate(0).is_err());
+        let short = QueryTrace {
+            steps: vec![TraceStep::Read {
+                reqs: vec![IoReq::new(0, 512)],
+            }],
+        };
+        assert!(short.validate(0).is_err());
+        let empty_beam = QueryTrace {
+            steps: vec![TraceStep::Read { reqs: vec![] }],
+        };
+        assert!(empty_beam.validate(0).is_err());
+        let zero_compute = QueryTrace {
+            steps: vec![TraceStep::Compute { count: 0, dim: 768 }],
+        };
+        assert!(zero_compute.validate(0).is_err());
+        let zero_m = QueryTrace {
+            steps: vec![TraceStep::PqLookup { count: 5, m: 0 }],
+        };
+        assert!(zero_m.validate(0).is_err());
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! the number of hops (and therefore round trips to storage) per search.
 
 use crate::par;
-use parking_lot::Mutex;
 use sann_core::rng::SplitMix64;
+use sann_core::sync::Mutex;
 use sann_core::{Dataset, Error, Metric, Neighbor, Result, TopK};
 use std::collections::BinaryHeap;
 
@@ -31,7 +31,13 @@ pub struct VamanaConfig {
 
 impl Default for VamanaConfig {
     fn default() -> Self {
-        VamanaConfig { r: 64, l_build: 100, alpha: 1.2, seed: 0xD15C, threads: 0 }
+        VamanaConfig {
+            r: 64,
+            l_build: 100,
+            alpha: 1.2,
+            seed: 0xD15C,
+            threads: 0,
+        }
     }
 }
 
@@ -81,13 +87,24 @@ impl VamanaGraph {
             })
             .collect();
 
-        let builder = GraphBuilder { data, metric, adj, medoid, r, l_build: config.l_build };
+        let builder = GraphBuilder {
+            data,
+            metric,
+            adj,
+            medoid,
+            r,
+            l_build: config.l_build,
+        };
 
         // Random insertion order, shared by both passes.
         let mut order: Vec<u32> = (0..n as u32).collect();
         rng.shuffle(&mut order);
 
-        let threads = if config.threads == 0 { par::default_threads() } else { config.threads };
+        let threads = if config.threads == 0 {
+            par::default_threads()
+        } else {
+            config.threads
+        };
         for alpha in [1.0f32, config.alpha] {
             par::par_ranges(n, threads, |start, end| {
                 for &id in &order[start..end] {
@@ -247,8 +264,10 @@ impl GraphBuilder<'_> {
             adj.push(id);
             if adj.len() > self.r + self.r / 2 {
                 let nv = self.data.row(nb as usize);
-                let cands: Vec<Neighbor> =
-                    adj.iter().map(|&x| Neighbor::new(x, self.dist(nv, x))).collect();
+                let cands: Vec<Neighbor> = adj
+                    .iter()
+                    .map(|&x| Neighbor::new(x, self.dist(nv, x)))
+                    .collect();
                 drop(adj);
                 let pruned = self.robust_prune(nb, cands, alpha);
                 *self.adj[nb as usize].lock() = pruned;
@@ -265,8 +284,10 @@ impl GraphBuilder<'_> {
                     continue;
                 }
                 let v = self.data.row(id);
-                let cands: Vec<Neighbor> =
-                    adj.iter().map(|&x| Neighbor::new(x, self.dist(v, x))).collect();
+                let cands: Vec<Neighbor> = adj
+                    .iter()
+                    .map(|&x| Neighbor::new(x, self.dist(v, x)))
+                    .collect();
                 let pruned = self.robust_prune(id as u32, cands, alpha);
                 *self.adj[id].lock() = pruned;
             }
@@ -290,7 +311,7 @@ pub(crate) fn robust_prune(
     candidates.sort_unstable();
     // Sorting by (dist, id) can leave same-id entries non-adjacent when
     // stored dists differ; dedup via a seen-set instead.
-    let mut seen = std::collections::HashSet::with_capacity(candidates.len());
+    let mut seen = std::collections::BTreeSet::new();
     candidates.retain(|c| seen.insert(c.id));
 
     let mut kept: Vec<Neighbor> = Vec::with_capacity(r);
@@ -376,17 +397,25 @@ mod tests {
 
     #[test]
     fn degree_bound_holds() {
-        let config = VamanaConfig { r: 24, ..VamanaConfig::default() };
+        let config = VamanaConfig {
+            r: 24,
+            ..VamanaConfig::default()
+        };
         let (_, _, _, graph) = build_small(config);
         for id in 0..graph.len() as u32 {
-            assert!(graph.neighbors(id).len() <= 24, "degree bound violated at {id}");
+            assert!(
+                graph.neighbors(id).len() <= 24,
+                "degree bound violated at {id}"
+            );
         }
     }
 
     #[test]
     fn greedy_search_reaches_high_recall() {
-        let (base, queries, gt, graph) =
-            build_small(VamanaConfig { r: 32, ..VamanaConfig::default() });
+        let (base, queries, gt, graph) = build_small(VamanaConfig {
+            r: 32,
+            ..VamanaConfig::default()
+        });
         let recall = graph_recall(&base, &queries, &gt, &graph, 50);
         assert!(recall > 0.9, "recall {recall} too low");
     }
@@ -395,8 +424,18 @@ mod tests {
     fn alpha_reduces_hops_vs_plain_rng() {
         // The DESIGN.md ablation: alpha > 1 keeps long edges, shortening
         // search paths (fewer distance evaluations to converge).
-        let plain = VamanaConfig { alpha: 1.0, r: 32, threads: 1, ..VamanaConfig::default() };
-        let slack = VamanaConfig { alpha: 1.3, r: 32, threads: 1, ..VamanaConfig::default() };
+        let plain = VamanaConfig {
+            alpha: 1.0,
+            r: 32,
+            threads: 1,
+            ..VamanaConfig::default()
+        };
+        let slack = VamanaConfig {
+            alpha: 1.3,
+            r: 32,
+            threads: 1,
+            ..VamanaConfig::default()
+        };
         let (base, queries, gt, g_plain) = build_small(plain);
         let (_, _, _, g_slack) = build_small(slack);
         let r_plain = graph_recall(&base, &queries, &gt, &g_plain, 50);
@@ -426,7 +465,10 @@ mod tests {
 
     #[test]
     fn deterministic_single_threaded() {
-        let config = VamanaConfig { threads: 1, ..VamanaConfig::default() };
+        let config = VamanaConfig {
+            threads: 1,
+            ..VamanaConfig::default()
+        };
         let (_, _, _, a) = build_small(config);
         let (_, _, _, b) = build_small(config);
         assert_eq!(a, b);
@@ -438,17 +480,24 @@ mod tests {
         assert!(VamanaGraph::build(
             &data,
             Metric::L2,
-            VamanaConfig { r: 0, ..VamanaConfig::default() }
+            VamanaConfig {
+                r: 0,
+                ..VamanaConfig::default()
+            }
         )
         .is_err());
         assert!(VamanaGraph::build(
             &data,
             Metric::L2,
-            VamanaConfig { alpha: 0.5, ..VamanaConfig::default() }
+            VamanaConfig {
+                alpha: 0.5,
+                ..VamanaConfig::default()
+            }
         )
         .is_err());
-        assert!(VamanaGraph::build(&Dataset::with_dim(8), Metric::L2, VamanaConfig::default())
-            .is_err());
+        assert!(
+            VamanaGraph::build(&Dataset::with_dim(8), Metric::L2, VamanaConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -462,6 +511,9 @@ mod tests {
             }
         }
         let total = (0..base.len()).step_by(97).count();
-        assert!(found_self >= total * 9 / 10, "{found_self}/{total} self-lookups succeeded");
+        assert!(
+            found_self >= total * 9 / 10,
+            "{found_self}/{total} self-lookups succeeded"
+        );
     }
 }

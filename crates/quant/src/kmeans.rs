@@ -34,7 +34,12 @@ impl KMeans {
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KMeans { k, max_iters: 20, seed: 0x5EED_4B4B, sample_limit: usize::MAX }
+        KMeans {
+            k,
+            max_iters: 20,
+            seed: 0x5EED_4B4B,
+            sample_limit: usize::MAX,
+        }
     }
 
     /// Sets the maximum number of Lloyd iterations (default 20).
@@ -70,7 +75,11 @@ impl KMeans {
         if data.len() < self.k {
             return Err(Error::invalid_parameter(
                 "k",
-                format!("{} clusters requested but only {} vectors", self.k, data.len()),
+                format!(
+                    "{} clusters requested but only {} vectors",
+                    self.k,
+                    data.len()
+                ),
             ));
         }
         let mut rng = SplitMix64::new(self.seed);
@@ -122,7 +131,12 @@ pub struct KMeansModel {
 impl KMeansModel {
     /// Id of the centroid closest to `v`.
     pub fn nearest(&self, v: &[f32]) -> u32 {
-        nearest_centroid(v, self.centroids.as_flat(), self.centroids.len(), self.centroids.dim())
+        nearest_centroid(
+            v,
+            self.centroids.as_flat(),
+            self.centroids.len(),
+            self.centroids.dim(),
+        )
     }
 
     /// Ids of the `n` centroids closest to `v`, closest first.
@@ -163,7 +177,10 @@ fn kmeanspp_init(data: &Dataset, k: usize, rng: &mut SplitMix64) -> Vec<f32> {
     let first = rng.next_bounded(data.len() as u64) as usize;
     centroids.extend_from_slice(data.row(first));
 
-    let mut min_dist: Vec<f32> = data.iter().map(|row| l2_squared(row, data.row(first))).collect();
+    let mut min_dist: Vec<f32> = data
+        .iter()
+        .map(|row| l2_squared(row, data.row(first)))
+        .collect();
     for _ in 1..k {
         let total: f64 = min_dist.iter().map(|&d| d as f64).sum();
         let next = if total <= 0.0 {
@@ -196,20 +213,17 @@ fn kmeanspp_init(data: &Dataset, k: usize, rng: &mut SplitMix64) -> Vec<f32> {
 
 /// Assigns every row to its nearest centroid in parallel; returns the number
 /// of rows whose assignment changed.
-fn assign_parallel(
-    data: &Dataset,
-    centroids: &[f32],
-    k: usize,
-    assignments: &mut [u32],
-) -> usize {
+fn assign_parallel(data: &Dataset, centroids: &[f32], k: usize, assignments: &mut [u32]) -> usize {
     let dim = data.dim();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = data.len().div_ceil(threads.max(1)).max(1);
     let changed = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, out_chunk) in assignments.chunks_mut(chunk).enumerate() {
             let changed = &changed;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local_changed = 0usize;
                 for (i, slot) in out_chunk.iter_mut().enumerate() {
                     let row = data.row(t * chunk + i);
@@ -222,8 +236,7 @@ fn assign_parallel(
                 changed.fetch_add(local_changed, std::sync::atomic::Ordering::Relaxed);
             });
         }
-    })
-    .expect("k-means assignment worker panicked");
+    });
     changed.load(std::sync::atomic::Ordering::Relaxed)
 }
 

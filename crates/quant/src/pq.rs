@@ -37,7 +37,7 @@ impl ProductQuantizer {
     /// training vectors than `ksub`.
     pub fn train(data: &Dataset, m: usize, ksub: usize, seed: u64) -> Result<ProductQuantizer> {
         let dim = data.dim();
-        if m == 0 || dim % m != 0 {
+        if m == 0 || !dim.is_multiple_of(m) {
             return Err(Error::invalid_parameter(
                 "m",
                 format!("{m} must be a positive divisor of dim {dim}"),
@@ -58,7 +58,9 @@ impl ProductQuantizer {
             // Slice out the sub-vectors for this subspace.
             let mut subdata = Dataset::with_dim(sub_dim);
             for row in data.iter() {
-                subdata.push(&row[sub * sub_dim..(sub + 1) * sub_dim]).expect("same dim");
+                subdata
+                    .push(&row[sub * sub_dim..(sub + 1) * sub_dim])
+                    .expect("same dim");
             }
             let model = KMeans::new(ksub)
                 .with_seed(seed.wrapping_add(sub as u64))
@@ -67,7 +69,13 @@ impl ProductQuantizer {
                 .fit(&subdata)?;
             codebooks.extend_from_slice(model.centroids.as_flat());
         }
-        Ok(ProductQuantizer { dim, m, ksub, sub_dim, codebooks })
+        Ok(ProductQuantizer {
+            dim,
+            m,
+            ksub,
+            sub_dim,
+            codebooks,
+        })
     }
 
     /// Dimensionality of input vectors.
@@ -124,18 +132,19 @@ impl ProductQuantizer {
     /// Encoding is parallelized across all cores.
     pub fn encode_all(&self, data: &Dataset) -> Vec<u8> {
         let mut codes = vec![0u8; data.len() * self.m];
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let chunk_rows = data.len().div_ceil(threads.max(1)).max(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, out) in codes.chunks_mut(chunk_rows * self.m).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (i, slot) in out.chunks_mut(self.m).enumerate() {
                         slot.copy_from_slice(&self.encode(data.row(t * chunk_rows + i)));
                     }
                 });
             }
-        })
-        .expect("PQ encode worker panicked");
+        });
         codes
     }
 
@@ -166,10 +175,17 @@ impl ProductQuantizer {
             let qv = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
             let book = self.codebook(sub);
             for c in 0..self.ksub {
-                table.push(l2_squared(qv, &book[c * self.sub_dim..(c + 1) * self.sub_dim]));
+                table.push(l2_squared(
+                    qv,
+                    &book[c * self.sub_dim..(c + 1) * self.sub_dim],
+                ));
             }
         }
-        DistanceTable { table, m: self.m, ksub: self.ksub }
+        DistanceTable {
+            table,
+            m: self.m,
+            ksub: self.ksub,
+        }
     }
 }
 
@@ -251,7 +267,11 @@ mod tests {
             err += (true_d - approx).abs() as f64;
             let _ = i;
         }
-        assert!(err / 200.0 < 0.5, "mean ADC error too large: {}", err / 200.0);
+        assert!(
+            err / 200.0 < 0.5,
+            "mean ADC error too large: {}",
+            err / 200.0
+        );
     }
 
     #[test]
@@ -263,7 +283,9 @@ mod tests {
         let q = data.row(7);
         let table = pq.distance_table(q);
         let pq_best = (0..200).min_by(|&a, &b| {
-            table.distance_at(&codes, a).total_cmp(&table.distance_at(&codes, b))
+            table
+                .distance_at(&codes, a)
+                .total_cmp(&table.distance_at(&codes, b))
         });
         let mut true_dists: Vec<(f32, usize)> =
             (0..200).map(|i| (l2_squared(q, data.row(i)), i)).collect();
@@ -284,7 +306,10 @@ mod tests {
         let data = EmbeddingModel::new(32, 2, 1).generate(100);
         assert!(ProductQuantizer::train(&data, 4, 0, 1).is_err());
         assert!(ProductQuantizer::train(&data, 4, 257, 1).is_err());
-        assert!(ProductQuantizer::train(&data, 4, 128, 1).is_err(), "too few training rows");
+        assert!(
+            ProductQuantizer::train(&data, 4, 128, 1).is_err(),
+            "too few training rows"
+        );
     }
 
     #[test]

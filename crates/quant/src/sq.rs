@@ -33,7 +33,11 @@ impl ScalarQuantizer {
                 *mx = mx.max(x);
             }
         }
-        let scale = min.iter().zip(&max).map(|(&mn, &mx)| (mx - mn) / 255.0).collect();
+        let scale = min
+            .iter()
+            .zip(&max)
+            .map(|(&mn, &mx)| (mx - mn) / 255.0)
+            .collect();
         Ok(ScalarQuantizer { min, scale })
     }
 
@@ -81,9 +85,7 @@ impl ScalarQuantizer {
     /// encoded vector (asymmetric: the query is not quantized).
     pub fn distance(&self, query: &[f32], code: &[u8]) -> f32 {
         let mut d = 0.0f32;
-        for ((&q, &c), (&mn, &s)) in
-            query.iter().zip(code).zip(self.min.iter().zip(&self.scale))
-        {
+        for ((&q, &c), (&mn, &s)) in query.iter().zip(code).zip(self.min.iter().zip(&self.scale)) {
             let x = mn + c as f32 * s;
             let diff = q - x;
             d += diff * diff;

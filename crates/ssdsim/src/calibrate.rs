@@ -23,7 +23,10 @@ pub struct Calibrator {
 impl Calibrator {
     /// Creates a calibrator with a 1-second simulated run per workload.
     pub fn new(model: SsdModel) -> Calibrator {
-        Calibrator { model, duration_us: 1e6 }
+        Calibrator {
+            model,
+            duration_us: 1e6,
+        }
     }
 
     /// Overrides the per-workload simulated duration.
@@ -44,7 +47,8 @@ impl Calibrator {
             qd1_iops: qd1 / (self.duration_us / 1e6),
             single_core_iops: single_core / (self.duration_us / 1e6),
             peak_iops: four_core / (self.duration_us / 1e6),
-            seq_bandwidth_gib: (seq * 128.0 * 1024.0) / (self.duration_us / 1e6)
+            seq_bandwidth_gib: (seq * 128.0 * 1024.0)
+                / (self.duration_us / 1e6)
                 / (1u64 << 30) as f64,
         }
     }
@@ -59,10 +63,10 @@ impl Calibrator {
         let mut cpu_free = vec![0.0f64; cores];
         // (completion_time, core) for each in-flight request.
         let mut inflight: Vec<(f64, usize)> = Vec::with_capacity(cores * qd_per_core);
-        for core in 0..cores {
+        for (core, free_at) in cpu_free.iter_mut().enumerate() {
             for _ in 0..qd_per_core {
-                let submit_at = cpu_free[core];
-                cpu_free[core] += self.model.submit_cpu_us;
+                let submit_at = *free_at;
+                *free_at += self.model.submit_cpu_us;
                 inflight.push((dev.schedule(submit_at, len), core));
             }
         }
@@ -70,8 +74,11 @@ impl Calibrator {
         loop {
             // Pop the earliest completion (linear scan: queue depths here are
             // small, and determinism matters more than asymptotics).
-            let (i, &(t, core)) =
-                inflight.iter().enumerate().min_by(|a, b| a.1 .0.total_cmp(&b.1 .0)).unwrap();
+            let (i, &(t, core)) = inflight
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                .unwrap();
             if t > self.duration_us {
                 break;
             }
@@ -105,10 +112,26 @@ pub struct CalibrationReport {
 impl std::fmt::Display for CalibrationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "device envelope (fio-equivalent workloads)")?;
-        writeln!(f, "  4KiB randread QD1      : {:>10.1} us/op", self.qd1_latency_us)?;
-        writeln!(f, "  4KiB randread 1 core   : {:>10.1} KIOPS", self.single_core_iops / 1e3)?;
-        writeln!(f, "  4KiB randread 4 cores  : {:>10.2} MIOPS", self.peak_iops / 1e6)?;
-        write!(f, "  128KiB seqread 32 thr  : {:>10.2} GiB/s", self.seq_bandwidth_gib)
+        writeln!(
+            f,
+            "  4KiB randread QD1      : {:>10.1} us/op",
+            self.qd1_latency_us
+        )?;
+        writeln!(
+            f,
+            "  4KiB randread 1 core   : {:>10.1} KIOPS",
+            self.single_core_iops / 1e3
+        )?;
+        writeln!(
+            f,
+            "  4KiB randread 4 cores  : {:>10.2} MIOPS",
+            self.peak_iops / 1e6
+        )?;
+        write!(
+            f,
+            "  128KiB seqread 32 thr  : {:>10.2} GiB/s",
+            self.seq_bandwidth_gib
+        )
     }
 }
 

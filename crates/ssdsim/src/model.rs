@@ -1,12 +1,11 @@
 //! The SSD service model.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
 /// Parameters describing an SSD's performance envelope.
 ///
 /// Times are microseconds; bandwidths are bytes per microsecond (= MB/s).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SsdModel {
     /// Internal parallelism: number of independent flash units.
     pub units: usize,
@@ -112,7 +111,13 @@ impl DeviceSim {
         for _ in 0..model.units.max(1) {
             units.push(std::cmp::Reverse(0));
         }
-        DeviceSim { model, units, bus_free_ns: 0, completed: 0, bytes: 0 }
+        DeviceSim {
+            model,
+            units,
+            bus_free_ns: 0,
+            completed: 0,
+            bytes: 0,
+        }
     }
 
     /// The model in use.
@@ -176,7 +181,10 @@ mod tests {
         let iops = m.peak_iops_4k();
         assert!((1.25e6..1.45e6).contains(&iops), "peak IOPS {iops}");
         let bw_gib = m.peak_bandwidth() / (1 << 30) as f64;
-        assert!((7.0..7.4).contains(&bw_gib), "peak bandwidth {bw_gib} GiB/s");
+        assert!(
+            (7.0..7.4).contains(&bw_gib),
+            "peak bandwidth {bw_gib} GiB/s"
+        );
         let lat = m.idle_latency_us(4096);
         assert!((40.0..80.0).contains(&lat), "QD1 latency {lat}");
         let single_core_iops = 1e6 / m.submit_cpu_us;
@@ -201,7 +209,10 @@ mod tests {
         for _ in 0..64 {
             last = last.max(dev.schedule(0.0, 4096));
         }
-        assert!(last < m.base_latency_us * 2.0, "64 parallel reads took {last} µs");
+        assert!(
+            last < m.base_latency_us * 2.0,
+            "64 parallel reads took {last} µs"
+        );
     }
 
     #[test]
@@ -235,7 +246,10 @@ mod tests {
             "achieved {achieved_bw} exceeds bus {}",
             m.device_bw
         );
-        assert!(achieved_bw > m.device_bw * 0.8, "bus underutilized: {achieved_bw}");
+        assert!(
+            achieved_bw > m.device_bw * 0.8,
+            "bus underutilized: {achieved_bw}"
+        );
     }
 
     #[test]
@@ -248,8 +262,11 @@ mod tests {
         let mut done = 0u64;
         loop {
             // Find earliest completion and immediately resubmit.
-            let (i, &t) =
-                completions.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+            let (i, &t) = completions
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
             if t > horizon {
                 break;
             }
@@ -265,7 +282,10 @@ mod tests {
         let m = SsdModel::samsung_990_pro();
         let mut dev = DeviceSim::new(m);
         let write_done = dev.schedule_write(0.0, 4096);
-        assert!(write_done > m.base_latency_us, "writes cost more than reads");
+        assert!(
+            write_done > m.base_latency_us,
+            "writes cost more than reads"
+        );
         // Saturate the units with writes, then a read queues behind them.
         let mut dev = DeviceSim::new(m);
         for _ in 0..m.units {

@@ -1,7 +1,7 @@
 //! An LRU page cache over 4 KiB pages — the OS page cache the paper flushes
 //! (`sync; echo 1 > /proc/sys/vm/drop_caches`) before each run (§III-B).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Page size (matches the device sector and the x86 page).
 pub const PAGE_BYTES: u64 = 4096;
@@ -15,7 +15,7 @@ pub const PAGE_BYTES: u64 = 4096;
 pub struct PageCache {
     capacity_pages: usize,
     /// page id -> LRU stamp.
-    pages: HashMap<u64, u64>,
+    pages: BTreeMap<u64, u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -28,7 +28,7 @@ impl PageCache {
     pub fn new(capacity_bytes: u64) -> PageCache {
         PageCache {
             capacity_pages: (capacity_bytes / PAGE_BYTES) as usize,
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,

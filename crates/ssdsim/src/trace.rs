@@ -2,11 +2,10 @@
 //! probe on `block_rq_issue` (§III-A): for every request issued to the
 //! device it records the timestamp, operation, offset, and size.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Type of a block request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoOp {
     /// Block read.
     Read,
@@ -15,7 +14,7 @@ pub enum IoOp {
 }
 
 /// One traced block request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoEvent {
     /// Issue timestamp, µs since experiment start.
     pub time_us: f64,
@@ -41,12 +40,22 @@ impl IoTracer {
 
     /// Records a read issue.
     pub fn record_read(&mut self, time_us: f64, offset: u64, len: u32) {
-        self.events.push(IoEvent { time_us, op: IoOp::Read, offset, len });
+        self.events.push(IoEvent {
+            time_us,
+            op: IoOp::Read,
+            offset,
+            len,
+        });
     }
 
     /// Records a write issue.
     pub fn record_write(&mut self, time_us: f64, offset: u64, len: u32) {
-        self.events.push(IoEvent { time_us, op: IoOp::Write, offset, len });
+        self.events.push(IoEvent {
+            time_us,
+            op: IoOp::Write,
+            offset,
+            len,
+        });
     }
 
     /// All events in issue order.
@@ -84,7 +93,13 @@ impl IoTracer {
                 }
             }
         }
-        IoStats { reads, writes, read_bytes, write_bytes, size_histogram }
+        IoStats {
+            reads,
+            writes,
+            read_bytes,
+            write_bytes,
+            size_histogram,
+        }
     }
 
     /// Per-second read bandwidth series in MiB/s — the series plotted in the
@@ -121,8 +136,12 @@ impl IoTracer {
         if duration_us <= 0.0 {
             return 0.0;
         }
-        let bytes: u64 =
-            self.events.iter().filter(|e| e.op == IoOp::Read).map(|e| e.len as u64).sum();
+        let bytes: u64 = self
+            .events
+            .iter()
+            .filter(|e| e.op == IoOp::Read)
+            .map(|e| e.len as u64)
+            .sum();
         bytes as f64 / (1 << 20) as f64 / (duration_us / 1e6)
     }
 
@@ -133,7 +152,7 @@ impl IoTracer {
 }
 
 /// Summary statistics of a trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IoStats {
     /// Number of read requests.
     pub reads: u64,
@@ -206,7 +225,11 @@ mod tests {
         t.record_read(0.0, 0, 1 << 20); // 1 MiB in the first half-second
         let tl = t.bandwidth_timeline(0.5e6);
         assert_eq!(tl.len(), 1);
-        assert!((tl[0] - 2.0).abs() < 1e-9, "1 MiB in 0.5 s = 2 MiB/s, got {}", tl[0]);
+        assert!(
+            (tl[0] - 2.0).abs() < 1e-9,
+            "1 MiB in 0.5 s = 2 MiB/s, got {}",
+            tl[0]
+        );
     }
 
     #[test]

@@ -175,7 +175,10 @@ impl Collection {
         let slot = self
             .deleted
             .get_mut(id as usize)
-            .ok_or(Error::IdOutOfBounds { id: id as u64, len: self.vectors.len() as u64 })?;
+            .ok_or(Error::IdOutOfBounds {
+                id: id as u64,
+                len: self.vectors.len() as u64,
+            })?;
         *slot = true;
         Ok(())
     }
@@ -194,7 +197,10 @@ impl Collection {
     pub fn get(&self, id: u32) -> Result<(&[f32], &Payload)> {
         let i = id as usize;
         if i >= self.vectors.len() {
-            return Err(Error::IdOutOfBounds { id: id as u64, len: self.vectors.len() as u64 });
+            return Err(Error::IdOutOfBounds {
+                id: id as u64,
+                len: self.vectors.len() as u64,
+            });
         }
         if self.deleted[i] {
             return Err(Error::NotFound(format!("vector {id} is deleted")));
@@ -280,11 +286,16 @@ impl Collection {
         }
         let accepts = |id: u32| -> bool {
             !self.deleted[id as usize]
-                && filter.map(|f| f.matches(&self.payloads[id as usize])).unwrap_or(true)
+                && filter
+                    .map(|f| f.matches(&self.payloads[id as usize]))
+                    .unwrap_or(true)
         };
 
         let (mut pool, trace) = match &self.index {
-            None => (self.bruteforce(query, 0, self.vectors.len())?, QueryTrace::new()),
+            None => (
+                self.bruteforce(query, 0, self.vectors.len())?,
+                QueryTrace::new(),
+            ),
             Some(index) => {
                 // Over-fetch for post-filtering, growing until enough hits
                 // survive or the whole collection was requested. The trace
@@ -295,8 +306,12 @@ impl Collection {
                 loop {
                     let out = index.search(query, fetch.min(index.len()), params)?;
                     full_trace.steps.extend(out.trace.steps);
-                    let mut pool: Vec<Neighbor> =
-                        out.neighbors.iter().copied().filter(|n| accepts(n.id)).collect();
+                    let mut pool: Vec<Neighbor> = out
+                        .neighbors
+                        .iter()
+                        .copied()
+                        .filter(|n| accepts(n.id))
+                        .collect();
                     let exhausted = fetch >= index.len();
                     if pool.len() >= k || exhausted {
                         // Cover vectors appended after the index was built.
@@ -358,7 +373,9 @@ mod tests {
     #[test]
     fn insert_get_delete_round_trip() {
         let mut c = Collection::new("t", 2, Metric::L2).unwrap();
-        let id = c.insert(&[1.0, 2.0], Payload::new().with("x", 1i64)).unwrap();
+        let id = c
+            .insert(&[1.0, 2.0], Payload::new().with("x", 1i64))
+            .unwrap();
         assert_eq!(c.get(id).unwrap().0, &[1.0, 2.0]);
         assert_eq!(c.live_len(), 1);
         c.delete(id).unwrap();
@@ -388,10 +405,13 @@ mod tests {
     #[test]
     fn filtered_search_respects_predicate() {
         let mut c = filled(300);
-        c.build_index(IndexSpec::Hnsw(HnswConfig::default())).unwrap();
+        c.build_index(IndexSpec::Hnsw(HnswConfig::default()))
+            .unwrap();
         let q = c.vectors().row(0).to_vec();
         let filter = Filter::eq("parity", Value::Int(1));
-        let hits = c.search(&q, 10, &SearchParams::default(), Some(&filter)).unwrap();
+        let hits = c
+            .search(&q, 10, &SearchParams::default(), Some(&filter))
+            .unwrap();
         assert_eq!(hits.len(), 10);
         assert!(hits.iter().all(|h| h.id % 2 == 1));
     }
@@ -400,10 +420,16 @@ mod tests {
     fn highly_selective_filter_overfetches_until_satisfied() {
         let mut c = filled(256);
         // Mark a single vector with a unique field.
-        c.insert(&[9.0; 16], Payload::new().with("rare", true)).unwrap();
+        c.insert(&[9.0; 16], Payload::new().with("rare", true))
+            .unwrap();
         c.build_index(IndexSpec::Flat).unwrap();
         let hits = c
-            .search(&[0.0; 16], 1, &SearchParams::default(), Some(&Filter::eq("rare", true)))
+            .search(
+                &[0.0; 16],
+                1,
+                &SearchParams::default(),
+                Some(&Filter::eq("rare", true)),
+            )
             .unwrap();
         assert_eq!(hits.len(), 1);
         assert!(hits[0].payload.get("rare").is_some());
@@ -412,9 +438,12 @@ mod tests {
     #[test]
     fn inserts_after_index_build_are_found() {
         let mut c = filled(200);
-        c.build_index(IndexSpec::Hnsw(HnswConfig::default())).unwrap();
+        c.build_index(IndexSpec::Hnsw(HnswConfig::default()))
+            .unwrap();
         let id = c.insert(&[5.0; 16], Payload::new()).unwrap();
-        let hits = c.search(&[5.0; 16], 1, &SearchParams::default(), None).unwrap();
+        let hits = c
+            .search(&[5.0; 16], 1, &SearchParams::default(), None)
+            .unwrap();
         assert_eq!(hits[0].id, id);
     }
 
@@ -423,10 +452,18 @@ mod tests {
         let specs = [
             IndexSpec::Flat,
             IndexSpec::Ivf(IvfConfig::default().with_nlist(16)),
-            IndexSpec::IvfPq { config: IvfConfig::default().with_nlist(16), m: 8, ksub: 16 },
+            IndexSpec::IvfPq {
+                config: IvfConfig::default().with_nlist(16),
+                m: 8,
+                ksub: 16,
+            },
             IndexSpec::Hnsw(HnswConfig::default()),
             IndexSpec::DiskAnn(DiskAnnConfig {
-                graph: sann_index::VamanaConfig { r: 16, l_build: 40, ..Default::default() },
+                graph: sann_index::VamanaConfig {
+                    r: 16,
+                    l_build: 40,
+                    ..Default::default()
+                },
                 pq_m: 8,
                 pq_ksub: 16,
                 base_offset: 0,
@@ -447,14 +484,20 @@ mod tests {
     fn traced_search_reports_io_for_storage_index() {
         let mut c = filled(400);
         c.build_index(IndexSpec::DiskAnn(DiskAnnConfig {
-            graph: sann_index::VamanaConfig { r: 16, l_build: 40, ..Default::default() },
+            graph: sann_index::VamanaConfig {
+                r: 16,
+                l_build: 40,
+                ..Default::default()
+            },
             pq_m: 8,
             pq_ksub: 16,
             base_offset: 0,
         }))
         .unwrap();
         let q = c.vectors().row(0).to_vec();
-        let (_, trace) = c.search_traced(&q, 5, &SearchParams::default(), None).unwrap();
+        let (_, trace) = c
+            .search_traced(&q, 5, &SearchParams::default(), None)
+            .unwrap();
         assert!(trace.io_count() > 0);
     }
 
@@ -462,10 +505,18 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(Collection::new("x", 0, Metric::L2).is_err());
         let c = Collection::new("x", 4, Metric::L2).unwrap();
-        assert!(c.search(&[0.0; 4], 1, &SearchParams::default(), None).is_err(), "empty");
+        assert!(
+            c.search(&[0.0; 4], 1, &SearchParams::default(), None)
+                .is_err(),
+            "empty"
+        );
         let c = filled(10);
-        assert!(c.search(&[0.0; 3], 1, &SearchParams::default(), None).is_err());
-        assert!(c.search(&[0.0; 16], 0, &SearchParams::default(), None).is_err());
+        assert!(c
+            .search(&[0.0; 3], 1, &SearchParams::default(), None)
+            .is_err());
+        assert!(c
+            .search(&[0.0; 16], 0, &SearchParams::default(), None)
+            .is_err());
     }
 
     #[test]

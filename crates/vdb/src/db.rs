@@ -58,9 +58,13 @@ impl VectorDb {
     /// Returns [`Error::AlreadyExists`] for duplicate names.
     pub fn add_collection(&mut self, collection: Collection) -> Result<()> {
         if self.collections.contains_key(collection.name()) {
-            return Err(Error::AlreadyExists(format!("collection {}", collection.name())));
+            return Err(Error::AlreadyExists(format!(
+                "collection {}",
+                collection.name()
+            )));
         }
-        self.collections.insert(collection.name().to_owned(), collection);
+        self.collections
+            .insert(collection.name().to_owned(), collection);
         Ok(())
     }
 
@@ -81,7 +85,9 @@ impl VectorDb {
     ///
     /// Returns [`Error::NotFound`] for unknown names.
     pub fn collection(&self, name: &str) -> Result<&Collection> {
-        self.collections.get(name).ok_or_else(|| Error::NotFound(format!("collection {name}")))
+        self.collections
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("collection {name}")))
     }
 
     /// Mutably borrows a collection.
@@ -161,9 +167,15 @@ mod tests {
     fn save_and_load_directory() {
         let mut db = VectorDb::new();
         db.create_collection("x", 2, Metric::L2).unwrap();
-        db.collection_mut("x").unwrap().insert(&[1.0, 2.0], Default::default()).unwrap();
+        db.collection_mut("x")
+            .unwrap()
+            .insert(&[1.0, 2.0], Default::default())
+            .unwrap();
         db.create_collection("y", 3, Metric::Cosine).unwrap();
-        db.collection_mut("y").unwrap().insert(&[1.0, 2.0, 3.0], Default::default()).unwrap();
+        db.collection_mut("y")
+            .unwrap()
+            .insert(&[1.0, 2.0, 3.0], Default::default())
+            .unwrap();
 
         let dir = std::env::temp_dir().join(format!("sann-db-test-{}", std::process::id()));
         db.save_dir(&dir).unwrap();

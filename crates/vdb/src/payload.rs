@@ -124,7 +124,11 @@ impl Filter {
 
     /// Inclusive numeric range filter.
     pub fn range(field: impl Into<String>, min: f64, max: f64) -> Filter {
-        Filter::Range { field: field.into(), min, max }
+        Filter::Range {
+            field: field.into(),
+            min,
+            max,
+        }
     }
 
     /// Evaluates the filter against a payload. Missing fields never match
@@ -149,7 +153,11 @@ mod tests {
     use super::*;
 
     fn doc() -> Payload {
-        Payload::new().with("lang", "en").with("year", 2024i64).with("score", 0.7).with("hot", true)
+        Payload::new()
+            .with("lang", "en")
+            .with("year", 2024i64)
+            .with("score", 0.7)
+            .with("hot", true)
     }
 
     #[test]
@@ -166,14 +174,20 @@ mod tests {
         assert!(Filter::range("year", 2020.0, 2030.0).matches(&doc()));
         assert!(Filter::range("score", 0.5, 0.9).matches(&doc()));
         assert!(!Filter::range("score", 0.8, 0.9).matches(&doc()));
-        assert!(!Filter::range("lang", 0.0, 1.0).matches(&doc()), "strings are not numeric");
+        assert!(
+            !Filter::range("lang", 0.0, 1.0).matches(&doc()),
+            "strings are not numeric"
+        );
     }
 
     #[test]
     fn boolean_combinators() {
         let f = Filter::And(vec![
             Filter::eq("lang", "en"),
-            Filter::Or(vec![Filter::eq("hot", true), Filter::range("year", 0.0, 1.0)]),
+            Filter::Or(vec![
+                Filter::eq("hot", true),
+                Filter::range("year", 0.0, 1.0),
+            ]),
         ]);
         assert!(f.matches(&doc()));
         let not = Filter::Not(Box::new(Filter::eq("lang", "en")));
@@ -189,7 +203,11 @@ mod tests {
         p.set("year", 2025i64);
         assert_eq!(p.get("year"), Some(&Value::Int(2025)));
         let names: Vec<&str> = p.iter().map(|(k, _)| k).collect();
-        assert_eq!(names, vec!["hot", "lang", "score", "year"], "sorted field order");
+        assert_eq!(
+            names,
+            vec!["hot", "lang", "score", "year"],
+            "sorted field order"
+        );
     }
 
     #[test]

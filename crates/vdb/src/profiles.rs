@@ -136,7 +136,9 @@ impl DbProfile {
     pub fn plan_builder(&self, size_ratio: f64) -> PlanBuilder {
         let factor = self.cpu_factor * size_ratio.max(1e-9).powf(self.scale_exponent);
         let io_fanout = size_ratio.max(1.0).powf(self.io_scale_exponent).round() as usize;
-        let cost = CostModel::default().scaled(factor).with_overhead_us(self.overhead_us);
+        let cost = CostModel::default()
+            .scaled(factor)
+            .with_overhead_us(self.overhead_us);
         PlanBuilder::new(cost)
             .with_intra_parallelism(self.intra_fanout)
             .with_io_fanout(io_fanout)

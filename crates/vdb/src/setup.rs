@@ -11,7 +11,7 @@ use sann_index::{
 };
 
 /// One of the paper's seven (database × index) configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SetupKind {
     /// Milvus with memory-based IVF-Flat.
     MilvusIvf,
@@ -151,7 +151,11 @@ pub struct Setup {
 impl Setup {
     /// Creates a setup with parameters initialized from the dataset size.
     pub fn new(kind: SetupKind, n: usize) -> Setup {
-        Setup { kind, params: TunedParams::for_dataset(n), seed: 0xBE7C4 }
+        Setup {
+            kind,
+            params: TunedParams::for_dataset(n),
+            seed: 0xBE7C4,
+        }
     }
 
     /// Builds the setup's index over `base`.
@@ -165,7 +169,11 @@ impl Setup {
             SetupKind::MilvusIvf => Box::new(IvfIndex::build(
                 base,
                 metric,
-                IvfConfig { nlist: p.nlist, seed: self.seed, ..IvfConfig::default() },
+                IvfConfig {
+                    nlist: p.nlist,
+                    seed: self.seed,
+                    ..IvfConfig::default()
+                },
             )?),
             SetupKind::MilvusHnsw | SetupKind::QdrantHnsw | SetupKind::WeaviateHnsw => {
                 Box::new(HnswIndex::build(
@@ -195,13 +203,21 @@ impl Setup {
                 base,
                 metric,
                 DiskAnnConfig {
-                    graph: VamanaConfig { r: p.r, seed: self.seed, ..VamanaConfig::default() },
+                    graph: VamanaConfig {
+                        r: p.r,
+                        seed: self.seed,
+                        ..VamanaConfig::default()
+                    },
                     ..DiskAnnConfig::default()
                 },
             )?),
             SetupKind::LancedbIvf => Box::new(IvfPqIndex::build(
                 base,
-                IvfConfig { nlist: p.nlist, seed: self.seed, ..IvfConfig::default() },
+                IvfConfig {
+                    nlist: p.nlist,
+                    seed: self.seed,
+                    ..IvfConfig::default()
+                },
                 pq_m_for(base.dim()),
                 256.min(base.len().saturating_sub(1)).max(2),
             )?),
@@ -351,7 +367,10 @@ pub fn calibrated_plan_builder(
 /// PQ sub-space count used by the LanceDB-IVF setup: one byte per 8 dims.
 fn pq_m_for(dim: usize) -> usize {
     let target = (dim / 8).max(1);
-    (1..=target).rev().find(|m| dim % m == 0).unwrap_or(1)
+    (1..=target)
+        .rev()
+        .find(|&m| dim.is_multiple_of(m))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -377,7 +396,10 @@ mod tests {
 
     #[test]
     fn exactly_two_setups_are_storage_based() {
-        let n = SetupKind::all().iter().filter(|k| k.is_storage_based()).count();
+        let n = SetupKind::all()
+            .iter()
+            .filter(|k| k.is_storage_based())
+            .count();
         assert_eq!(n, 2);
         assert!(SetupKind::MilvusDiskann.is_storage_based());
         assert!(SetupKind::LancedbIvf.is_storage_based());
@@ -386,7 +408,11 @@ mod tests {
     #[test]
     fn memory_setups_tune_to_target() {
         let (base, queries, gt) = small_world();
-        for kind in [SetupKind::MilvusIvf, SetupKind::MilvusHnsw, SetupKind::MilvusDiskann] {
+        for kind in [
+            SetupKind::MilvusIvf,
+            SetupKind::MilvusHnsw,
+            SetupKind::MilvusDiskann,
+        ] {
             let mut setup = Setup::new(kind, base.len());
             let index = setup.build_index(&base, Metric::L2).unwrap();
             let recall = setup.tune(index.as_ref(), &queries, &gt, 0.9).unwrap();
@@ -402,7 +428,10 @@ mod tests {
         let mut setup = Setup::new(SetupKind::LancedbIvf, base.len());
         let index = setup.build_index(&base, Metric::L2).unwrap();
         let recall = setup.tune(index.as_ref(), &queries, &gt, 0.9).unwrap();
-        assert!(recall < 0.95, "PQ-without-rerank should not be near-perfect: {recall}");
+        assert!(
+            recall < 0.95,
+            "PQ-without-rerank should not be near-perfect: {recall}"
+        );
         assert!(recall > 0.2, "but should be usable: {recall}");
     }
 
@@ -413,7 +442,10 @@ mod tests {
         let index = setup.build_index(&base, Metric::L2).unwrap();
         let traces = setup.traces(index.as_ref(), &queries, 10).unwrap();
         assert_eq!(traces.len(), queries.len());
-        assert!(traces.iter().all(|t| t.io_count() > 0), "DiskANN queries must read");
+        assert!(
+            traces.iter().all(|t| t.io_count() > 0),
+            "DiskANN queries must read"
+        );
     }
 
     #[test]

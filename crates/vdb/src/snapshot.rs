@@ -7,7 +7,7 @@
 
 use crate::collection::Collection;
 use crate::payload::{Payload, Value};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sann_core::buf::{ByteReader, ByteWriter};
 use sann_core::{Error, Metric, Result};
 use std::path::Path;
 
@@ -15,11 +15,11 @@ const MAGIC: &[u8; 4] = b"SANN";
 const VERSION: u8 = 1;
 
 /// Serializes a collection (vectors + payloads + tombstones) to bytes.
-pub fn encode(collection: &Collection) -> Bytes {
-    let mut buf = BytesMut::new();
+pub fn encode(collection: &Collection) -> Vec<u8> {
+    let mut buf = ByteWriter::new();
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
-    put_str(&mut buf, collection.name());
+    buf.put_str(collection.name());
     buf.put_u8(match collection.metric() {
         Metric::L2 => 0,
         Metric::InnerProduct => 1,
@@ -41,7 +41,7 @@ pub fn encode(collection: &Collection) -> Bytes {
         let payload = collection_payload(collection, id);
         put_payload(&mut buf, &payload);
     }
-    buf.freeze()
+    buf.into_bytes()
 }
 
 /// Deserializes a collection from bytes.
@@ -49,28 +49,26 @@ pub fn encode(collection: &Collection) -> Bytes {
 /// # Errors
 ///
 /// Returns [`Error::Corrupt`] on any structural problem.
-pub fn decode(mut data: &[u8]) -> Result<Collection> {
+pub fn decode(data: &[u8]) -> Result<Collection> {
     let corrupt = |what: &str| Error::Corrupt(format!("snapshot: {what}"));
-    if data.remaining() < 5 || &data[..4] != MAGIC {
+    let mut data = ByteReader::new(data, "snapshot");
+    if data.remaining() < 5 || &data.rest()[..4] != MAGIC {
         return Err(corrupt("bad magic"));
     }
-    data.advance(4);
-    let version = data.get_u8();
+    data.take(4)?;
+    let version = data.get_u8()?;
     if version != VERSION {
         return Err(corrupt(&format!("unsupported version {version}")));
     }
-    let name = get_str(&mut data)?;
-    let metric = match read_u8(&mut data)? {
+    let name = data.get_str()?;
+    let metric = match data.get_u8()? {
         0 => Metric::L2,
         1 => Metric::InnerProduct,
         2 => Metric::Cosine,
         other => return Err(corrupt(&format!("unknown metric {other}"))),
     };
-    if data.remaining() < 12 {
-        return Err(corrupt("truncated header"));
-    }
-    let dim = data.get_u32_le() as usize;
-    let n = data.get_u64_le() as usize;
+    let dim = data.get_u32_le()? as usize;
+    let n = data.get_u64_le()? as usize;
     if dim == 0 {
         return Err(corrupt("zero dimension"));
     }
@@ -79,21 +77,21 @@ pub fn decode(mut data: &[u8]) -> Result<Collection> {
     }
     let mut collection = Collection::new(name, dim, metric)?;
     let mut row = vec![0.0f32; dim];
-    let mut raw_payload_placeholder = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
     for _ in 0..n {
         for slot in row.iter_mut() {
-            *slot = data.get_f32_le();
+            *slot = data.get_f32_le()?;
         }
-        raw_payload_placeholder.push(row.clone());
+        rows.push(row.clone());
     }
     if data.remaining() < n {
         return Err(corrupt("truncated tombstones"));
     }
     let mut tombstones = Vec::with_capacity(n);
     for _ in 0..n {
-        tombstones.push(data.get_u8() == 1);
+        tombstones.push(data.get_u8()? == 1);
     }
-    for vec_row in &raw_payload_placeholder {
+    for vec_row in &rows {
         let payload = get_payload(&mut data)?;
         collection.insert(vec_row, payload)?;
     }
@@ -128,46 +126,23 @@ pub fn load(path: impl AsRef<Path>) -> Result<Collection> {
 fn collection_payload(collection: &Collection, id: u32) -> Payload {
     // `get` refuses tombstoned rows; resurrect via a temporary live check.
     if collection.is_live(id) {
-        collection.get(id).map(|(_, p)| p.clone()).unwrap_or_default()
+        collection
+            .get(id)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_default()
     } else {
         Payload::default()
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(data: &mut &[u8]) -> Result<String> {
-    if data.remaining() < 4 {
-        return Err(Error::Corrupt("snapshot: truncated string length".into()));
-    }
-    let len = data.get_u32_le() as usize;
-    if data.remaining() < len {
-        return Err(Error::Corrupt("snapshot: truncated string".into()));
-    }
-    let s = String::from_utf8(data[..len].to_vec())
-        .map_err(|_| Error::Corrupt("snapshot: invalid utf-8".into()))?;
-    data.advance(len);
-    Ok(s)
-}
-
-fn read_u8(data: &mut &[u8]) -> Result<u8> {
-    if data.remaining() < 1 {
-        return Err(Error::Corrupt("snapshot: truncated byte".into()));
-    }
-    Ok(data.get_u8())
-}
-
-fn put_payload(buf: &mut BytesMut, payload: &Payload) {
+fn put_payload(buf: &mut ByteWriter, payload: &Payload) {
     buf.put_u32_le(payload.len() as u32);
     for (field, value) in payload.iter() {
-        put_str(buf, field);
+        buf.put_str(field);
         match value {
             Value::Str(s) => {
                 buf.put_u8(0);
-                put_str(buf, s);
+                buf.put_str(s);
             }
             Value::Int(i) => {
                 buf.put_u8(1);
@@ -185,31 +160,22 @@ fn put_payload(buf: &mut BytesMut, payload: &Payload) {
     }
 }
 
-fn get_payload(data: &mut &[u8]) -> Result<Payload> {
-    if data.remaining() < 4 {
-        return Err(Error::Corrupt("snapshot: truncated payload".into()));
-    }
-    let n = data.get_u32_le() as usize;
+fn get_payload(data: &mut ByteReader<'_>) -> Result<Payload> {
+    let n = data.get_u32_le()? as usize;
     let mut payload = Payload::new();
     for _ in 0..n {
-        let field = get_str(data)?;
-        let tag = read_u8(data)?;
+        let field = data.get_str()?;
+        let tag = data.get_u8()?;
         let value = match tag {
-            0 => Value::Str(get_str(data)?),
-            1 => {
-                if data.remaining() < 8 {
-                    return Err(Error::Corrupt("snapshot: truncated int".into()));
-                }
-                Value::Int(data.get_i64_le())
+            0 => Value::Str(data.get_str()?),
+            1 => Value::Int(data.get_i64_le()?),
+            2 => Value::Float(data.get_f64_le()?),
+            3 => Value::Bool(data.get_u8()? == 1),
+            other => {
+                return Err(Error::Corrupt(format!(
+                    "snapshot: unknown value tag {other}"
+                )))
             }
-            2 => {
-                if data.remaining() < 8 {
-                    return Err(Error::Corrupt("snapshot: truncated float".into()));
-                }
-                Value::Float(data.get_f64_le())
-            }
-            3 => Value::Bool(read_u8(data)? == 1),
-            other => return Err(Error::Corrupt(format!("snapshot: unknown value tag {other}"))),
         };
         payload.set(field, value);
     }
@@ -223,8 +189,16 @@ mod tests {
 
     fn sample() -> Collection {
         let mut c = Collection::new("docs", 3, Metric::Cosine).unwrap();
-        c.insert(&[1.0, 0.0, 0.0], Payload::new().with("lang", "en").with("n", 1i64)).unwrap();
-        c.insert(&[0.0, 1.0, 0.0], Payload::new().with("score", 0.5).with("hot", true)).unwrap();
+        c.insert(
+            &[1.0, 0.0, 0.0],
+            Payload::new().with("lang", "en").with("n", 1i64),
+        )
+        .unwrap();
+        c.insert(
+            &[0.0, 1.0, 0.0],
+            Payload::new().with("score", 0.5).with("hot", true),
+        )
+        .unwrap();
         c.insert(&[0.0, 0.0, 1.0], Payload::new()).unwrap();
         c.delete(2).unwrap();
         c
@@ -264,10 +238,10 @@ mod tests {
         let good = encode(&sample());
         assert!(matches!(decode(b"JUNK"), Err(Error::Corrupt(_))));
         assert!(matches!(decode(&good[..10]), Err(Error::Corrupt(_))));
-        let mut bad_version = good.to_vec();
+        let mut bad_version = good.clone();
         bad_version[4] = 99;
         assert!(matches!(decode(&bad_version), Err(Error::Corrupt(_))));
-        let mut bad_metric = good.to_vec();
+        let mut bad_metric = good.clone();
         // metric byte sits after magic+version+name(len 4 + "docs")
         bad_metric[4 + 1 + 4 + 4] = 7;
         assert!(matches!(decode(&bad_metric), Err(Error::Corrupt(_))));

@@ -1,0 +1,128 @@
+//! The runtime determinism audit: run a small sweep twice, demand
+//! byte-identical metrics.
+//!
+//! The audit builds two completely fresh [`BenchContext`]s (nothing shared,
+//! not even caches), prepares the same storage-based and memory-based setups
+//! on the same seeded dataset, validates every query trace against the
+//! structural invariants ([`sann_index::QueryTrace::validate`]), and then
+//! compares [`RunMetrics::canonical_bytes`] of every (setup × concurrency)
+//! cell byte for byte. Any drift — a stray wall-clock read, an unordered
+//! iteration, a NaN-order flip — shows up as a byte diff long before it
+//! would be visible in rounded report tables.
+
+use sann_bench::BenchContext;
+use sann_engine::RunMetrics;
+use sann_vdb::SetupKind;
+
+/// Dataset the audit sweeps (smallest in the catalog).
+const DATASET: &str = "cohere-s";
+
+/// Scale factor: tiny, the audit is about determinism, not fidelity.
+const SCALE: f64 = 0.001;
+
+/// Simulated duration per cell, µs.
+const DURATION_US: f64 = 0.2e6;
+
+/// Fig. 2-style concurrency sweep points.
+const CONCURRENCIES: &[usize] = &[1, 8];
+
+/// Setups exercised: one storage-based (DiskANN beams through the SSD
+/// model) and one memory-based (IVF through the CPU path).
+const KINDS: &[SetupKind] = &[SetupKind::MilvusDiskann, SetupKind::MilvusIvf];
+
+/// One measured cell of the sweep.
+struct Cell {
+    label: String,
+    bytes: Vec<u8>,
+}
+
+/// Runs the audit.
+///
+/// # Errors
+///
+/// Returns a description of the first trace-invariant violation or metric
+/// byte-divergence found.
+pub fn run() -> Result<String, String> {
+    let first = sweep()?;
+    let second = sweep()?;
+    if first.len() != second.len() {
+        return Err(format!(
+            "sweep shape diverged: {} cells vs {}",
+            first.len(),
+            second.len()
+        ));
+    }
+    let mut audited = 0usize;
+    for (a, b) in first.iter().zip(&second) {
+        if a.label != b.label {
+            return Err(format!("cell order diverged: {} vs {}", a.label, b.label));
+        }
+        if a.bytes != b.bytes {
+            let byte = a.bytes.iter().zip(&b.bytes).position(|(x, y)| x != y);
+            return Err(format!(
+                "metrics diverged at {}: first difference at byte {:?} of {}",
+                a.label,
+                byte,
+                a.bytes.len()
+            ));
+        }
+        audited += a.bytes.len();
+    }
+    Ok(format!(
+        "determinism: PASS — {} cells byte-identical across two seeded runs ({audited} metric bytes compared)",
+        first.len()
+    ))
+}
+
+/// One full pass: fresh context, validated traces, canonical metrics.
+fn sweep() -> Result<Vec<Cell>, String> {
+    let mut ctx = BenchContext::new(SCALE);
+    ctx.only_dataset = Some(DATASET.to_string());
+    ctx.duration_us = DURATION_US;
+    let spec = ctx
+        .dataset_specs()
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("dataset {DATASET} missing from catalog"))?;
+
+    let mut cells = Vec::new();
+    for &kind in KINDS {
+        let (data, prepared) = ctx
+            .dataset_and_setup(&spec, kind)
+            .map_err(|e| format!("prepare {kind:?}: {e}"))?;
+        let params = prepared.setup.params.search_params();
+        // DiskANN promises one beam of at most `beam_width` sector reads per
+        // hop; memory-based setups have no beam bound.
+        let max_beam = if kind.is_storage_based() {
+            params.beam_width
+        } else {
+            0
+        };
+        let traces = prepared
+            .setup
+            .traces(
+                prepared.index.as_ref(),
+                &data.queries,
+                sann_bench::context::K,
+            )
+            .map_err(|e| format!("trace {kind:?}: {e}"))?;
+        for (qi, trace) in traces.iter().enumerate() {
+            trace
+                .validate(max_beam)
+                .map_err(|e| format!("{} query {qi}: invalid trace: {e}", kind.name()))?;
+        }
+        for &concurrency in CONCURRENCIES {
+            let metrics: Option<RunMetrics> = ctx
+                .run_tuned(&spec, kind, concurrency)
+                .map_err(|e| format!("run {kind:?} c{concurrency}: {e}"))?;
+            let Some(metrics) = metrics else {
+                continue; // profile rejects this concurrency; fine, both passes skip it
+            };
+            cells.push(Cell {
+                label: format!("{}/{}/c{}", spec.name, kind.name(), concurrency),
+                bytes: metrics.canonical_bytes(),
+            });
+        }
+    }
+    Ok(cells)
+}

@@ -1,0 +1,19 @@
+//! `sann-xtask` — the workspace invariant checker.
+//!
+//! The simulation stack promises *bit-determinism*: identical inputs produce
+//! identical metrics, byte for byte. That promise is easy to break with one
+//! careless `Instant::now()` or an iteration over a `HashMap`. This crate
+//! enforces it from two directions:
+//!
+//! * **statically** — [`lint`] scans every product crate's sources for
+//!   wall-clock calls, unseeded randomness, order-nondeterministic
+//!   containers, and NaN-unsafe sorts (see [`lint::RULES`]), with explicit
+//!   per-site suppression markers;
+//! * **dynamically** — [`determinism`] runs a small end-to-end sweep twice
+//!   with the same seed and diffs the canonical metric encodings byte for
+//!   byte, validating every query trace on the way.
+//!
+//! Run it as `cargo run -p sann-xtask -- lint [--determinism]`.
+
+pub mod determinism;
+pub mod lint;

@@ -1,0 +1,75 @@
+//! CLI entry point: `sann-xtask lint [--root DIR] [--determinism]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(("lint", rest)) = args.split_first().map(|(a, b)| (a.as_str(), b)) else {
+        eprintln!("usage: sann-xtask lint [--root DIR] [--determinism]");
+        return ExitCode::FAILURE;
+    };
+
+    let mut root: Option<PathBuf> = None;
+    let mut determinism = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--determinism" => determinism = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let scan = match &root {
+        // An explicit root is a fixture tree: scan every .rs file in it.
+        Some(dir) => sann_xtask::lint::scan_tree(dir),
+        None => sann_xtask::lint::scan_workspace(&workspace_root()),
+    };
+    let report = match scan {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sann-xtask: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if !report.ok() {
+        return ExitCode::FAILURE;
+    }
+
+    if determinism {
+        match sann_xtask::determinism::run() {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("determinism: FAIL — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The workspace root: where `cargo run -p sann-xtask` executes from, or —
+/// when run from elsewhere — the nearest ancestor with a `crates/` dir.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

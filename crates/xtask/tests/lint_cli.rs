@@ -1,0 +1,138 @@
+//! End-to-end tests of the `sann-xtask lint` binary: a seeded-violation
+//! fixture tree must fail with the right rule names, and the real workspace
+//! must pass.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sann-xtask"))
+}
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sann-xtask-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn seeded_violations_fail_with_rule_names() {
+    let dir = fixture_dir("bad");
+    std::fs::write(
+        dir.join("bad.rs"),
+        r#"
+fn naughty() {
+    let t = std::time::Instant::now();
+    let mut rng = thread_rng();
+    let m: HashMap<u32, u32> = HashMap::new();
+    let mut v = vec![0.3f32, f32::NAN];
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+"#,
+    )
+    .unwrap();
+    let out = xtask().args(["lint", "--root"]).arg(&dir).output().unwrap();
+    assert!(
+        !out.status.success(),
+        "seeded violations must fail the lint"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "wall-clock",
+        "unseeded-rng",
+        "unordered-container",
+        "nan-unsafe-sort",
+    ] {
+        assert!(
+            stdout.contains(&format!("error[{rule}]")),
+            "missing {rule} in:\n{stdout}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_passes_and_counts_markers() {
+    let dir = fixture_dir("clean");
+    std::fs::write(
+        dir.join("ok.rs"),
+        r#"
+//! Prose may mention HashMap and Instant::now freely.
+fn tidy() {
+    let m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    // sann-lint: allow(wall-clock) -- fixture exercising the marker path
+    let t = std::time::Instant::now();
+    let _ = (m, t);
+}
+"#,
+    )
+    .unwrap();
+    let out = xtask().args(["lint", "--root"]).arg(&dir).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean fixture must pass:\n{stdout}");
+    assert!(
+        stdout.contains("1 allow-marker(s)"),
+        "marker must be counted:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_marker_fails() {
+    let dir = fixture_dir("marker");
+    std::fs::write(
+        dir.join("bad_marker.rs"),
+        "// sann-lint: allow(wall-clock)\nfn f() { let t = std::time::Instant::now(); }\n",
+    )
+    .unwrap();
+    let out = xtask().args(["lint", "--root"]).arg(&dir).output().unwrap();
+    assert!(!out.status.success(), "reason-less marker must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bad-marker"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = sann_xtask::lint::scan_workspace(&workspace_root()).unwrap();
+    assert!(
+        report.ok(),
+        "workspace must be lint-clean:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files > 50,
+        "expected the whole workspace, got {} files",
+        report.files
+    );
+    // The simulation-core crates carry no exceptions at all.
+    for strict in [
+        "ssdsim", "index", "core", "engine", "vdb", "quant", "datagen",
+    ] {
+        assert_eq!(
+            report.markers_in_crate(strict),
+            0,
+            "crate {strict} must not need allow-markers"
+        );
+    }
+    // The bench harness carries the documented wall-clock exceptions.
+    assert!(report.markers_in_crate("bench") >= 4);
+}
+
+#[test]
+fn binary_rejects_unknown_usage() {
+    let out = xtask().output().unwrap();
+    assert!(!out.status.success(), "missing subcommand must fail");
+    let out = xtask().args(["lint", "--bogus"]).output().unwrap();
+    assert!(!out.status.success(), "unknown flag must fail");
+}

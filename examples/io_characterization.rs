@@ -46,8 +46,11 @@ fn main() -> sann::core::Result<()> {
         );
         if concurrency == 256 {
             println!("\nper-second bandwidth timeline at 256 threads (MiB/s):");
-            let bars: Vec<String> =
-                m.bandwidth_timeline_mib.iter().map(|b| format!("{b:.0}")).collect();
+            let bars: Vec<String> = m
+                .bandwidth_timeline_mib
+                .iter()
+                .map(|b| format!("{b:.0}"))
+                .collect();
             println!("  [{}]", bars.join(", "));
             println!("\nrequest-size histogram:");
             for (size, count) in &m.io_stats.size_histogram {

@@ -6,9 +6,7 @@
 
 use sann::core::Metric;
 use sann::datagen::{EmbeddingModel, GroundTruth};
-use sann::index::{
-    DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, SearchParams, VectorIndex,
-};
+use sann::index::{DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, SearchParams, VectorIndex};
 
 fn main() -> sann::core::Result<()> {
     let model = EmbeddingModel::new(128, 16, 99);

@@ -33,7 +33,12 @@ fn main() -> sann::core::Result<()> {
     let hits = docs.search(query, 5, &SearchParams::default(), None)?;
     println!("\ntop-5 for vector #123 (expect itself first):");
     for hit in &hits {
-        println!("  id={:<6} dist={:.4} lang={:?}", hit.id, hit.dist, hit.payload.get("lang"));
+        println!(
+            "  id={:<6} dist={:.4} lang={:?}",
+            hit.id,
+            hit.dist,
+            hit.payload.get("lang")
+        );
     }
     assert_eq!(hits[0].id, 123);
 

@@ -16,7 +16,11 @@ fn main() -> sann::core::Result<()> {
     // "Embed" a 20k-chunk knowledge base (768-d, the Cohere embedding size).
     let model = EmbeddingModel::new(768, 32, 7);
     let chunks = model.generate(20_000);
-    println!("knowledge base: {} chunks x {}-d", chunks.len(), chunks.dim());
+    println!(
+        "knowledge base: {} chunks x {}-d",
+        chunks.len(),
+        chunks.dim()
+    );
 
     // Build the storage-based index.
     let index = DiskAnnIndex::build(&chunks, Metric::L2, DiskAnnConfig::default())?;
@@ -32,7 +36,10 @@ fn main() -> sann::core::Result<()> {
     // search-time parameters (search_list=10, beam_width=4).
     let questions = model.generate_queries(8);
     let params = SearchParams::default();
-    println!("\nretrieval (k=5, search_list={}, beam_width={}):", params.search_list, params.beam_width);
+    println!(
+        "\nretrieval (k=5, search_list={}, beam_width={}):",
+        params.search_list, params.beam_width
+    );
     let mut total_bytes = 0u64;
     let mut total_hops = 0u64;
     for (i, q) in questions.iter().enumerate() {

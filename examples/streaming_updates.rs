@@ -16,7 +16,11 @@ fn main() -> sann::core::Result<()> {
         &base,
         Metric::L2,
         FreshConfig {
-            graph: VamanaConfig { r: 32, l_build: 60, ..Default::default() },
+            graph: VamanaConfig {
+                r: 32,
+                l_build: 60,
+                ..Default::default()
+            },
             l_insert: 60,
             pq_m: 0,
             pq_ksub: 256,
@@ -50,13 +54,20 @@ fn main() -> sann::core::Result<()> {
     // Verify the stream is searchable.
     let probe = fresh.row(499);
     let hit = index.search(probe, 1, &SearchParams::default().with_search_list(50))?;
-    println!("latest insert found at distance {:.4}", hit.neighbors[0].dist);
+    println!(
+        "latest insert found at distance {:.4}",
+        hit.neighbors[0].dist
+    );
 
     // Delete a third of the original corpus, then consolidate.
     for id in (0..8_000u32).step_by(3) {
         index.delete(id)?;
     }
-    println!("after deletes: {} live of {} slots", index.live_len(), index.slots());
+    println!(
+        "after deletes: {} live of {} slots",
+        index.live_len(),
+        index.slots()
+    );
     let repaired = index.consolidate();
     println!("consolidation repaired {repaired} nodes' edges");
 

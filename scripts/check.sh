@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, clippy (warnings are errors), the
+# workspace determinism lint, and the test suite. CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> sann-xtask lint"
+cargo run -q -p sann-xtask -- lint
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -22,7 +22,11 @@ fn world() -> World {
     let bundle = spec.generate();
     let queries = bundle.queries.truncated(50);
     let truth = GroundTruth::bruteforce(&bundle.base, &queries, spec.metric, K);
-    World { base: bundle.base, queries, truth }
+    World {
+        base: bundle.base,
+        queries,
+        truth,
+    }
 }
 
 fn prepare(w: &World, kind: SetupKind) -> Result<(Setup, Box<dyn VectorIndex>, f64)> {
@@ -43,7 +47,12 @@ fn run_at(
     // The world is cohere-s at 1/500 of the paper's size; compile plans with
     // the same calibrated scale extrapolation the benchmark harness uses.
     let plans = sann::vdb::setup::calibrated_plan_builder(kind, 1.0, 0.002).build_all(&traces);
-    let config = RunConfig { cores: 20, concurrency, duration_us: 2e6, ..RunConfig::default() };
+    let config = RunConfig {
+        cores: 20,
+        concurrency,
+        duration_us: 2e6,
+        ..RunConfig::default()
+    };
     Ok(Executor::new(config).run(&plans))
 }
 
@@ -51,7 +60,11 @@ fn run_at(
 #[test]
 fn all_milvus_setups_reach_recall_target() {
     let w = world();
-    for kind in [SetupKind::MilvusIvf, SetupKind::MilvusHnsw, SetupKind::MilvusDiskann] {
+    for kind in [
+        SetupKind::MilvusIvf,
+        SetupKind::MilvusHnsw,
+        SetupKind::MilvusDiskann,
+    ] {
         let (_, _, recall) = prepare(&w, kind).unwrap();
         assert!(recall >= 0.9, "{kind} recall {recall}");
     }
@@ -62,8 +75,12 @@ fn all_milvus_setups_reach_recall_target() {
 #[test]
 fn kf1_throughput_ordering_at_high_concurrency() {
     let w = world();
-    let mut qps = std::collections::HashMap::new();
-    for kind in [SetupKind::MilvusIvf, SetupKind::MilvusHnsw, SetupKind::MilvusDiskann] {
+    let mut qps = std::collections::BTreeMap::new();
+    for kind in [
+        SetupKind::MilvusIvf,
+        SetupKind::MilvusHnsw,
+        SetupKind::MilvusDiskann,
+    ] {
         let (setup, index, _) = prepare(&w, kind).unwrap();
         let m = run_at(&w, &setup, index.as_ref(), kind, 64).unwrap();
         qps.insert(kind, m.qps);
@@ -89,11 +106,30 @@ fn storage_setups_read_memory_setups_do_not() {
     let w = world();
     let (hnsw_setup, hnsw_index, _) = prepare(&w, SetupKind::MilvusHnsw).unwrap();
     let (dann_setup, dann_index, _) = prepare(&w, SetupKind::MilvusDiskann).unwrap();
-    let m_hnsw = run_at(&w, &hnsw_setup, hnsw_index.as_ref(), SetupKind::MilvusHnsw, 1).unwrap();
-    let m_dann =
-        run_at(&w, &dann_setup, dann_index.as_ref(), SetupKind::MilvusDiskann, 1).unwrap();
-    assert_eq!(m_hnsw.device_read_bytes, 0, "memory-based setup must not read");
-    assert!(m_dann.device_read_bytes > 0, "storage-based setup must read");
+    let m_hnsw = run_at(
+        &w,
+        &hnsw_setup,
+        hnsw_index.as_ref(),
+        SetupKind::MilvusHnsw,
+        1,
+    )
+    .unwrap();
+    let m_dann = run_at(
+        &w,
+        &dann_setup,
+        dann_index.as_ref(),
+        SetupKind::MilvusDiskann,
+        1,
+    )
+    .unwrap();
+    assert_eq!(
+        m_hnsw.device_read_bytes, 0,
+        "memory-based setup must not read"
+    );
+    assert!(
+        m_dann.device_read_bytes > 0,
+        "storage-based setup must read"
+    );
     assert!(
         m_dann.p99_latency_us > m_hnsw.p99_latency_us,
         "diskann p99 {} should exceed hnsw p99 {} at qd1",
@@ -118,10 +154,14 @@ fn kf3_search_list_tradeoff() {
     let w = world();
     let (mut setup, index, _) = prepare(&w, SetupKind::MilvusDiskann).unwrap();
     setup.params.search_list = 10;
-    let r10 = setup.recall(index.as_ref(), &w.queries, &w.truth, K).unwrap();
+    let r10 = setup
+        .recall(index.as_ref(), &w.queries, &w.truth, K)
+        .unwrap();
     let m10 = run_at(&w, &setup, index.as_ref(), SetupKind::MilvusDiskann, 16).unwrap();
     setup.params.search_list = 100;
-    let r100 = setup.recall(index.as_ref(), &w.queries, &w.truth, K).unwrap();
+    let r100 = setup
+        .recall(index.as_ref(), &w.queries, &w.truth, K)
+        .unwrap();
     let m100 = run_at(&w, &setup, index.as_ref(), SetupKind::MilvusDiskann, 16).unwrap();
     assert!(r100 >= r10 - 1e-9, "recall {r10} -> {r100}");
     assert!(m100.qps < m10.qps, "qps {} -> {}", m10.qps, m100.qps);
@@ -142,8 +182,16 @@ fn concurrency_scaling_is_sane() {
     let mut last_qps = 0.0;
     for conc in [1usize, 8, 64] {
         let m = run_at(&w, &setup, index.as_ref(), SetupKind::MilvusDiskann, conc).unwrap();
-        assert!(m.qps >= last_qps * 0.95, "qps regressed at {conc}: {} -> {}", last_qps, m.qps);
-        assert!(m.mean_bandwidth_mib < 7.2 * 1024.0, "exceeded device bandwidth");
+        assert!(
+            m.qps >= last_qps * 0.95,
+            "qps regressed at {conc}: {} -> {}",
+            last_qps,
+            m.qps
+        );
+        assert!(
+            m.mean_bandwidth_mib < 7.2 * 1024.0,
+            "exceeded device bandwidth"
+        );
         last_qps = m.qps;
     }
 }
@@ -154,16 +202,22 @@ fn collection_round_trip_with_persistence() {
     let w = world();
     let mut collection =
         sann::vdb::Collection::from_dataset("kb", &w.base.truncated(500), Metric::L2);
-    collection.build_index(sann::vdb::IndexSpec::Hnsw(Default::default())).unwrap();
+    collection
+        .build_index(sann::vdb::IndexSpec::Hnsw(Default::default()))
+        .unwrap();
     let q = w.queries.row(0);
-    let before = collection.search(q, 5, &SearchParams::default(), None).unwrap();
+    let before = collection
+        .search(q, 5, &SearchParams::default(), None)
+        .unwrap();
 
     let dir = std::env::temp_dir().join(format!("sann-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("kb.sann");
     sann::vdb::snapshot::save(&collection, &path).unwrap();
     let mut loaded = sann::vdb::snapshot::load(&path).unwrap();
-    loaded.build_index(sann::vdb::IndexSpec::Hnsw(Default::default())).unwrap();
+    loaded
+        .build_index(sann::vdb::IndexSpec::Hnsw(Default::default()))
+        .unwrap();
     let after = loaded.search(q, 5, &SearchParams::default(), None).unwrap();
     assert_eq!(
         before.iter().map(|h| h.id).collect::<Vec<_>>(),
