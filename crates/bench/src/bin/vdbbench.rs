@@ -16,12 +16,13 @@
 //!   ext-rw        extension: hybrid read-write workloads (SVIII)
 //!   ext-filter    extension: payload-filtered search (SVIII)
 //!   ext-spann     extension: DiskANN vs SPANN storage indexes (SII-B)
+//!   trace         one traced run: Perfetto trace.json/JSONL + latency breakdown
 //!   all           everything above in order
 //! ```
 
 use sann_bench::{
     context::BenchContext, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6, fig7_11,
-    table1, table2,
+    table1, table2, tracecmd,
 };
 
 fn main() {
@@ -52,6 +53,7 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
         "ext-rw" => println!("{}", ext_rw::run(&mut ctx)?),
         "ext-filter" => println!("{}", ext_filter::run(&mut ctx)?),
         "ext-spann" => println!("{}", ext_spann::run(&mut ctx)?),
+        "trace" => println!("{}", tracecmd::run(&mut ctx, &rest)?),
         "all" => {
             println!("{}", table1::run(&ctx)?);
             println!("{}", table2::run(&mut ctx)?);
@@ -67,7 +69,8 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
             println!("{}", ext_spann::run(&mut ctx)?);
         }
         "help" | "--help" | "-h" => {
-            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|all>");
+            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--trace-out PATH] [--trace-level off|run|query|io] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|all>");
+            println!("  trace [--setup NAME] [--clients N]   export one traced run (Perfetto trace.json + JSONL) with a latency breakdown");
             return Ok(());
         }
         other => {

@@ -12,8 +12,9 @@
 
 use sann_core::{Metric, Result};
 use sann_datagen::{catalog, DatasetSpec, GroundTruth};
-use sann_engine::{Executor, QueryPlan, RunConfig, RunMetrics};
+use sann_engine::{Executor, QueryPlan, RunConfig, RunMetrics, TracedRun};
 use sann_index::VectorIndex;
+use sann_obs::TraceLevel;
 use sann_vdb::{Setup, SetupKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -70,6 +71,12 @@ pub struct BenchContext {
     pub only_dataset: Option<String>,
     /// Directory for CSV outputs.
     pub results_dir: std::path::PathBuf,
+    /// Where to write exported traces (`--trace-out`); `None` disables
+    /// export. The Chrome/Perfetto JSON goes to this path and the JSONL
+    /// sibling next to it with a `.jsonl` extension.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Span-tracing verbosity (`--trace-level {off,run,query,io}`).
+    pub trace_level: TraceLevel,
     datasets: BTreeMap<String, PreparedDataset>,
     indexes: BTreeMap<(String, &'static str), Arc<dyn VectorIndex>>,
     setups: BTreeMap<(String, SetupKind), PreparedSetup>,
@@ -86,6 +93,8 @@ impl BenchContext {
             duration_us: 5e6,
             only_dataset: None,
             results_dir: std::path::PathBuf::from("results"),
+            trace_out: None,
+            trace_level: TraceLevel::Off,
             datasets: BTreeMap::new(),
             indexes: BTreeMap::new(),
             setups: BTreeMap::new(),
@@ -95,7 +104,8 @@ impl BenchContext {
     }
 
     /// Parses harness flags (`--scale X`, `--cores N`, `--duration-secs S`,
-    /// `--dataset NAME`, `--results DIR`). Unrecognized flags are returned
+    /// `--dataset NAME`, `--results DIR`, `--trace-out PATH`,
+    /// `--trace-level {off,run,query,io}`). Unrecognized flags are returned
     /// for the caller (subcommand) to interpret.
     ///
     /// # Errors
@@ -127,6 +137,18 @@ impl BenchContext {
                 }
                 "--results" => {
                     ctx.results_dir = std::path::PathBuf::from(take("--results")?);
+                }
+                "--trace-out" => {
+                    ctx.trace_out = Some(std::path::PathBuf::from(take("--trace-out")?));
+                }
+                "--trace-level" => {
+                    let value = take("--trace-level")?;
+                    ctx.trace_level = TraceLevel::parse(&value).ok_or_else(|| {
+                        sann_core::Error::invalid_parameter(
+                            "args",
+                            format!("bad value for --trace-level: `{value}` (off|run|query|io)"),
+                        )
+                    })?;
                 }
                 other => rest.push(other.to_owned()),
             }
@@ -321,6 +343,31 @@ impl BenchContext {
         Some(Executor::new(config).run(plans))
     }
 
+    /// Like [`BenchContext::run`] but keeps the full observability output:
+    /// the span trace at `level` plus the counter/histogram registry.
+    /// Returns `None` when the profile does not support the concurrency.
+    pub fn run_traced(
+        &self,
+        kind: SetupKind,
+        plans: &[QueryPlan],
+        concurrency: usize,
+        level: TraceLevel,
+    ) -> Option<TracedRun> {
+        let profile = kind.profile();
+        if !profile.supports_clients(concurrency) {
+            return None;
+        }
+        let config = RunConfig {
+            cores: self.cores,
+            concurrency,
+            duration_us: self.duration_us,
+            max_concurrent: profile.max_concurrent,
+            cache_bytes: profile.cache_bytes,
+            ..RunConfig::default()
+        };
+        Some(Executor::new(config).run_traced(plans, level))
+    }
+
     /// Writes a CSV file under the results directory.
     ///
     /// # Errors
@@ -374,6 +421,26 @@ mod tests {
         assert_eq!(ctx.cores, 8);
         assert_eq!(ctx.only_dataset.as_deref(), Some("cohere-s"));
         assert_eq!(rest, vec!["fig2"]);
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let args: Vec<String> = ["--trace-out", "run.json", "--trace-level", "query"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (ctx, rest) = BenchContext::from_args(&args).unwrap();
+        assert_eq!(
+            ctx.trace_out.as_deref(),
+            Some(std::path::Path::new("run.json"))
+        );
+        assert_eq!(ctx.trace_level, TraceLevel::Query);
+        assert!(rest.is_empty());
+        let bad: Vec<String> = ["--trace-level", "verbose"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(BenchContext::from_args(&bad).is_err());
     }
 
     #[test]

@@ -96,12 +96,16 @@ pub fn run_fig6(ctx: &mut BenchContext) -> Result<String> {
         "bytes/query",
         "ios/query",
         "4KiB_fraction",
+        "max_req_B",
     ]);
     for spec in ctx.dataset_specs() {
         for concurrency in [1usize, 256] {
             let m = ctx
                 .run_tuned(&spec, SetupKind::MilvusDiskann, concurrency)?
                 .expect("milvus has no client limit");
+            // Request sizes through the log-bucketed histogram shared with
+            // sann-obs (same bucket boundaries as every other size metric).
+            let sizes = m.io_stats.size_log_histogram();
             table.row([
                 spec.name.clone(),
                 concurrency.to_string(),
@@ -109,6 +113,7 @@ pub fn run_fig6(ctx: &mut BenchContext) -> Result<String> {
                 num(m.read_bytes_per_query),
                 num(m.ios_per_query),
                 format!("{:.5}", m.io_stats.size_fraction(4096)),
+                sizes.max().to_string(),
             ]);
         }
     }
@@ -134,6 +139,10 @@ mod tests {
         assert!(
             text.contains("1.00000"),
             "all requests must be 4 KiB:\n{text}"
+        );
+        assert!(
+            text.contains("4096"),
+            "log-histogram max must report the 4 KiB page size:\n{text}"
         );
         std::fs::remove_dir_all(&ctx.results_dir).ok();
     }

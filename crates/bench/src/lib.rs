@@ -15,6 +15,7 @@
 //! | §VIII ext.: hybrid read-write workloads | [`ext_rw`] | `ext-rw` |
 //! | §VIII ext.: filtered search | [`ext_filter`] | `ext-filter` |
 //! | §II-B ext.: DiskANN vs SPANN | [`ext_spann`] | `ext-spann` |
+//! | — (timeline inspection, DESIGN.md §8) | [`tracecmd`] | `trace` |
 //!
 //! Results print as aligned text tables and are also written as CSV under
 //! `results/`.
@@ -31,6 +32,7 @@ pub mod microbench;
 pub mod report;
 pub mod table1;
 pub mod table2;
+pub mod tracecmd;
 
 pub use context::BenchContext;
 pub use report::Table;

@@ -61,10 +61,25 @@ impl Criterion {
         }
     }
 
-    /// Runs a single benchmark.
-    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
-        run_one(self, name.as_ref(), f);
+    /// Runs a single benchmark, returning its measured statistics so a
+    /// bench target can compare two configurations (e.g. the tracing
+    /// overhead check in `benches/obs_overhead.rs`).
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> BenchStats {
+        run_one(self, name.as_ref(), f)
     }
+}
+
+/// Summary of one benchmark's measured samples, ns per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Mean over the measured samples.
+    pub mean_ns: f64,
+    /// Fastest sample (least noise-contaminated).
+    pub min_ns: f64,
 }
 
 /// A named group of benchmarks sharing the harness configuration.
@@ -76,9 +91,13 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Runs one benchmark inside the group.
-    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> BenchStats {
         let full = format!("{}/{}", self.name, name.as_ref());
-        run_one(self.criterion, &full, f);
+        run_one(self.criterion, &full, f)
     }
 
     /// Ends the group (kept for criterion API compatibility).
@@ -106,7 +125,7 @@ impl Bencher {
     }
 }
 
-fn run_one(criterion: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(criterion: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) -> BenchStats {
     // Warm-up: discover a per-sample iteration count that fills roughly one
     // sample slot, starting from a single iteration.
     let mut bencher = Bencher {
@@ -146,6 +165,10 @@ fn run_one(criterion: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
         "{name:<40} {mean:>12.1} ns/iter (min {min:.1}, {iters} iters x {} samples)",
         samples_ns.len()
     );
+    BenchStats {
+        mean_ns: mean,
+        min_ns: min,
+    }
 }
 
 /// Declares a benchmark entry function from targets (criterion-compatible).
@@ -189,11 +212,13 @@ mod tests {
             .warm_up_time(Duration::from_millis(1))
             .measurement_time(Duration::from_millis(10));
         let mut runs = 0u64;
-        c.bench_function("smoke/add", |b| {
+        let stats = c.bench_function("smoke/add", |b| {
             runs += 1;
             b.iter(|| black_box(1u64) + black_box(2u64))
         });
         assert!(runs >= 3, "warm-up plus samples must call the closure");
+        assert!(stats.mean_ns >= stats.min_ns);
+        assert!(stats.min_ns >= 0.0);
         let mut group = c.benchmark_group("g");
         group.bench_function("inner", |b| b.iter(|| black_box(7u32)));
         group.finish();

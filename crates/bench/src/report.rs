@@ -1,5 +1,7 @@
 //! Text tables and CSV assembly for experiment output.
 
+use sann_obs::{Phase, PhaseBreakdown};
+
 /// A simple aligned text table that doubles as a CSV builder.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -108,9 +110,46 @@ pub fn num(x: f64) -> String {
     }
 }
 
+/// The per-phase latency-breakdown table: one row per [`Phase`], showing
+/// where the mean query's time goes. In-latency fractions sum to 1 (the
+/// executor asserts the underlying nanoseconds partition each query);
+/// queue wait is excluded from latency and marked as such.
+pub fn latency_breakdown(breakdown: &PhaseBreakdown) -> Table {
+    let mut table = Table::new(["phase", "mean_us_per_query", "fraction_of_latency"]);
+    for &phase in &Phase::ALL {
+        let fraction = if phase.in_latency() {
+            format!("{:.4}", breakdown.fraction(phase))
+        } else {
+            format!("{:.4} (excl.)", breakdown.fraction(phase))
+        };
+        table.row([
+            phase.name().to_owned(),
+            format!("{:.3}", breakdown.mean_us(phase)),
+            fraction,
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn breakdown_table_covers_every_phase() {
+        let mut b = PhaseBreakdown::new();
+        let mut ns = [0u64; Phase::COUNT];
+        ns[Phase::Compute.index()] = 750;
+        ns[Phase::FlashService.index()] = 250;
+        ns[Phase::QueueWait.index()] = 100;
+        b.add_query(&ns);
+        let t = latency_breakdown(&b);
+        assert_eq!(t.len(), Phase::ALL.len());
+        let text = t.to_text();
+        assert!(text.contains("compute"));
+        assert!(text.contains("0.7500"));
+        assert!(text.contains("(excl.)"), "queue wait marked off-latency");
+    }
 
     #[test]
     fn text_alignment_and_separator() {

@@ -42,6 +42,6 @@ pub mod metrics;
 pub mod plan;
 
 pub use cost::CostModel;
-pub use executor::{Executor, RunConfig};
+pub use executor::{Executor, RunConfig, TracedRun};
 pub use metrics::RunMetrics;
 pub use plan::{PlanBuilder, QueryPlan, Segment};

@@ -2,6 +2,7 @@
 
 use sann_core::buf::ByteWriter;
 use sann_core::stats;
+use sann_obs::{PhaseBreakdown, Registry};
 use sann_ssdsim::{IoStats, IoTracer};
 
 /// Results of one closed-loop measurement run.
@@ -32,14 +33,22 @@ pub struct RunMetrics {
     pub bandwidth_timeline_mib: Vec<f64>,
     /// Request-size histogram and counts at the block layer.
     pub io_stats: IoStats,
+    /// Per-phase attribution of query time (queue wait, compute, beam
+    /// issue, flash service, cache hit, rerank, delay). In-latency phases
+    /// sum to the total reported latency exactly — the executor asserts
+    /// this per query.
+    pub phase_breakdown: PhaseBreakdown,
 }
 
 impl RunMetrics {
-    /// Internal constructor used by the executor.
+    /// Internal constructor used by the executor. Latencies and the phase
+    /// breakdown come from the run's observability [`Registry`] — the
+    /// executor records exact per-query nanoseconds there instead of
+    /// carrying an ad-hoc `Vec<f64>`.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         qps: f64,
-        latencies_us: Vec<f64>,
+        registry: &Registry,
         cpu_utilization: f64,
         tracer: IoTracer,
         duration_us: f64,
@@ -48,6 +57,7 @@ impl RunMetrics {
         logical_io_count: u64,
     ) -> RunMetrics {
         let io_stats = tracer.stats();
+        let latencies_us = registry.latencies_us();
         let issued = latencies_us.len().max(1) as f64;
         RunMetrics {
             qps,
@@ -62,6 +72,7 @@ impl RunMetrics {
             mean_bandwidth_mib: tracer.mean_read_bandwidth(duration_us),
             bandwidth_timeline_mib: tracer.bandwidth_timeline(duration_us),
             io_stats,
+            phase_breakdown: registry.breakdown().clone(),
         }
     }
 
@@ -97,6 +108,7 @@ impl RunMetrics {
             buf.put_u32_le(size);
             buf.put_u64_le(count);
         }
+        self.phase_breakdown.encode(&mut buf);
         buf.into_bytes()
     }
 
@@ -116,36 +128,58 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sann_obs::Phase;
+
+    /// A registry holding the given latencies, all attributed to compute.
+    fn registry_with_us(latencies_us: &[f64]) -> Registry {
+        let mut r = Registry::new();
+        for &us in latencies_us {
+            let ns = (us * 1000.0) as u64;
+            let mut phases = [0u64; Phase::COUNT];
+            phases[Phase::Compute.index()] = ns;
+            r.record_query(ns, &phases);
+        }
+        r
+    }
 
     #[test]
     fn assemble_computes_percentiles() {
         let latencies: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let m = RunMetrics::assemble(10.0, latencies, 0.5, IoTracer::new(), 1e6, 10, 2048, 2);
-        assert_eq!(m.p50_latency_us, 50.0);
-        assert_eq!(m.p99_latency_us, 99.0);
+        let reg = registry_with_us(&latencies);
+        let m = RunMetrics::assemble(10.0, &reg, 0.5, IoTracer::new(), 1e6, 10, 2048, 2);
+        // Linear interpolation between closest ranks over samples 1..=100.
+        assert!((m.p50_latency_us - 50.5).abs() < 1e-9);
+        assert!((m.p99_latency_us - 99.01).abs() < 1e-9);
         assert!((m.mean_latency_us - 50.5).abs() < 1e-9);
         assert!((m.read_bytes_per_query - 20.48).abs() < 1e-9);
+        assert_eq!(m.phase_breakdown.queries, 100);
+        assert_eq!(
+            m.phase_breakdown.latency_ns(),
+            (1..=100u64).map(|i| i * 1000).sum::<u64>()
+        );
     }
 
     #[test]
     fn cpu_utilization_is_clamped() {
-        let m = RunMetrics::assemble(0.0, vec![], 1.7, IoTracer::new(), 1e6, 0, 0, 0);
+        let m = RunMetrics::assemble(0.0, &Registry::new(), 1.7, IoTracer::new(), 1e6, 0, 0, 0);
         assert_eq!(m.cpu_utilization, 1.0);
     }
 
     #[test]
     fn empty_run_is_all_zeros() {
-        let m = RunMetrics::assemble(0.0, vec![], 0.0, IoTracer::new(), 1e6, 0, 0, 0);
+        let m = RunMetrics::assemble(0.0, &Registry::new(), 0.0, IoTracer::new(), 1e6, 0, 0, 0);
         assert_eq!(m.completed, 0);
         assert_eq!(m.p99_latency_us, 0.0);
         assert_eq!(m.device_read_bytes, 0);
         assert_eq!(m.per_query_bandwidth_mib(), 0.0);
+        assert_eq!(m.phase_breakdown.queries, 0);
     }
 
     #[test]
     fn canonical_bytes_distinguishes_metric_changes() {
         let make = |qps: f64| {
-            RunMetrics::assemble(qps, vec![1.0, 2.0], 0.1, IoTracer::new(), 1e6, 2, 8192, 2)
+            let reg = registry_with_us(&[1.0, 2.0]);
+            RunMetrics::assemble(qps, &reg, 0.1, IoTracer::new(), 1e6, 2, 8192, 2)
         };
         let a = make(10.0);
         assert_eq!(a.canonical_bytes(), make(10.0).canonical_bytes());
@@ -153,21 +187,19 @@ mod tests {
         let mut b = make(10.0);
         b.bandwidth_timeline_mib.push(3.0);
         assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        // Moving a nanosecond between phases changes the encoding even
+        // though every legacy metric stays identical.
+        let mut c = make(10.0);
+        c.phase_breakdown.ns[Phase::Compute.index()] -= 1;
+        c.phase_breakdown.ns[Phase::Rerank.index()] += 1;
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
     }
 
     #[test]
     fn per_query_bandwidth_is_bytes_over_latency() {
         // 1 MiB per query, 0.5 s latency → 2 MiB/s.
-        let m = RunMetrics::assemble(
-            2.0,
-            vec![0.5e6, 0.5e6],
-            0.1,
-            IoTracer::new(),
-            1e6,
-            2,
-            2 << 20,
-            2,
-        );
+        let reg = registry_with_us(&[0.5e6, 0.5e6]);
+        let m = RunMetrics::assemble(2.0, &reg, 0.1, IoTracer::new(), 1e6, 2, 2 << 20, 2);
         assert!((m.per_query_bandwidth_mib() - 2.0).abs() < 1e-9);
     }
 }

@@ -58,6 +58,29 @@ pub enum TraceStep {
     },
 }
 
+impl TraceStep {
+    /// The observability [`Phase`](sann_obs::Phase) this step is billed
+    /// to. CPU steps (full-precision compute and PQ lookups) are
+    /// [`Compute`](sann_obs::Phase::Compute) — unless they trail the last
+    /// read beam, in which case they are the query's
+    /// [`Rerank`](sann_obs::Phase::Rerank) pass; read beams are
+    /// [`BeamIssue`](sann_obs::Phase::BeamIssue) (the engine splits the
+    /// beam's service time into flash-service / cache-hit on its own,
+    /// since only it knows the cache state).
+    pub fn phase(&self, after_last_read: bool) -> sann_obs::Phase {
+        match self {
+            TraceStep::Compute { .. } | TraceStep::PqLookup { .. } => {
+                if after_last_read {
+                    sann_obs::Phase::Rerank
+                } else {
+                    sann_obs::Phase::Compute
+                }
+            }
+            TraceStep::Read { .. } => sann_obs::Phase::BeamIssue,
+        }
+    }
+}
+
 /// The full work log of one query.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryTrace {
@@ -210,6 +233,21 @@ impl QueryTrace {
         Ok(())
     }
 
+    /// Per-step phase annotations: each step billed to the
+    /// [`Phase`](sann_obs::Phase) given by [`TraceStep::phase`], with CPU
+    /// steps after the final read beam classified as the rerank pass.
+    pub fn step_phases(&self) -> Vec<sann_obs::Phase> {
+        let last_read = self
+            .steps
+            .iter()
+            .rposition(|s| matches!(s, TraceStep::Read { .. }));
+        self.steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.phase(last_read.is_some_and(|r| i > r)))
+            .collect()
+    }
+
     /// Total PQ lookups.
     pub fn pq_lookup_count(&self) -> u64 {
         self.steps
@@ -313,6 +351,31 @@ mod tests {
             steps: vec![TraceStep::PqLookup { count: 5, m: 0 }],
         };
         assert!(zero_m.validate(0).is_err());
+    }
+
+    #[test]
+    fn step_phases_mark_trailing_rerank() {
+        use sann_obs::Phase;
+        let mut t = QueryTrace::new();
+        t.push_pq_lookup(64, 48);
+        t.push_read(vec![IoReq::new(0, 4096)]);
+        t.push_pq_lookup(32, 48);
+        t.push_read(vec![IoReq::new(4096, 4096)]);
+        t.push_compute(10, 768);
+        assert_eq!(
+            t.step_phases(),
+            vec![
+                Phase::Compute,
+                Phase::BeamIssue,
+                Phase::Compute,
+                Phase::BeamIssue,
+                Phase::Rerank,
+            ]
+        );
+        // A trace with no reads at all has no rerank pass.
+        let mut cpu_only = QueryTrace::new();
+        cpu_only.push_compute(5, 768);
+        assert_eq!(cpu_only.step_phases(), vec![Phase::Compute]);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Simulation-time observability for the whole query path.
+//!
+//! The paper's contribution is *characterization*: Figs. 5–6 and
+//! O-10..O-16 exist because the authors could see inside the query path
+//! with bpftrace and per-stage timers. This crate is the simulator-side
+//! equivalent — a span tracer, a latency-breakdown profiler, and trace
+//! exporters — built entirely on the discrete-event simulation's virtual
+//! clock so every trace is bit-reproducible:
+//!
+//! * [`span`] — [`Span`]s with [`SpanId`]s collected through the
+//!   [`TraceSink`] trait; the execution engine opens one span per query and
+//!   one child span per [`Phase`] (queue wait, distance compute, beam
+//!   issue, flash service, page-cache hit, rerank, delay), plus nested I/O
+//!   spans for individual device requests at [`TraceLevel::Io`].
+//! * [`hist`] — log₂-bucketed [`LogHistogram`]s with an exact
+//!   little-endian [`LogHistogram::canonical_bytes`] encoding, mergeable
+//!   across worker shards. The request-size bucketing used by Fig. 6 and
+//!   by exported traces is defined once here ([`hist::bucket_index`] /
+//!   [`hist::bucket_floor`]) so they can never drift apart.
+//! * [`registry`] — a named counter/histogram [`Registry`] and the
+//!   per-phase [`PhaseBreakdown`] that the engine folds into `RunMetrics`;
+//!   every nanosecond of a query's reported latency is attributed to
+//!   exactly one in-latency phase (the engine asserts the sum).
+//! * [`export`] — two deterministic exporters: Chrome/Perfetto
+//!   `trace.json` ([`export::chrome_trace`]) and line-oriented JSONL
+//!   ([`export::jsonl`]). Byte-identical across identical-seed runs; the
+//!   `sann-xtask lint --determinism` audit diffs them byte for byte.
+//!
+//! All timestamps are `u64` nanoseconds of *simulated* time — this crate
+//! never reads the wall clock, uses no randomness, and iterates only
+//! ordered containers, so it passes `sann-xtask lint` with zero
+//! allow-markers.
+//!
+//! # Examples
+//!
+//! ```
+//! use sann_obs::{Phase, SpanId, SpanName, TraceLevel, TraceSink, Tracer};
+//!
+//! let mut tracer = Tracer::new(TraceLevel::Query);
+//! let q = tracer.begin_span(SpanId::NONE, 0, SpanName::Query { plan: 3 }, 100);
+//! let c = tracer.begin_span(q, 0, SpanName::Phase(Phase::Compute), 100);
+//! tracer.end_span(c, 250);
+//! tracer.end_span(q, 250);
+//! let trace = tracer.finish(1_000);
+//! assert_eq!(trace.spans.len(), 2);
+//! trace.validate().unwrap();
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use hist::LogHistogram;
+pub use registry::{PhaseBreakdown, Registry};
+pub use span::{IoSpan, Phase, Span, SpanId, SpanName, Trace, TraceLevel, TraceSink, Tracer};

@@ -37,4 +37,4 @@ pub mod trace;
 pub use calibrate::{CalibrationReport, Calibrator};
 pub use model::{DeviceSim, SsdModel};
 pub use pagecache::PageCache;
-pub use trace::{IoEvent, IoStats, IoTracer};
+pub use trace::{IoEvent, IoStats, IoTracer, NO_OWNER};

@@ -13,6 +13,10 @@ pub enum IoOp {
     Write,
 }
 
+/// Owner tag for an [`IoEvent`] recorded outside any span (background
+/// writes, warmup traffic, callers that predate span tracing).
+pub const NO_OWNER: u64 = u64::MAX;
+
 /// One traced block request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoEvent {
@@ -24,6 +28,10 @@ pub struct IoEvent {
     pub offset: u64,
     /// Request size in bytes.
     pub len: u32,
+    /// The span that issued this request (a `sann-obs` span id), or
+    /// [`NO_OWNER`]. Lets exported timelines nest block I/O under the
+    /// owning query.
+    pub owner: u64,
 }
 
 /// Collects [`IoEvent`]s and derives the paper's I/O statistics.
@@ -38,23 +46,35 @@ impl IoTracer {
         IoTracer::default()
     }
 
-    /// Records a read issue.
+    /// Records a read issue with no owning span.
     pub fn record_read(&mut self, time_us: f64, offset: u64, len: u32) {
+        self.record_read_owned(time_us, offset, len, NO_OWNER);
+    }
+
+    /// Records a write issue with no owning span.
+    pub fn record_write(&mut self, time_us: f64, offset: u64, len: u32) {
+        self.record_write_owned(time_us, offset, len, NO_OWNER);
+    }
+
+    /// Records a read issue tagged with the owning span.
+    pub fn record_read_owned(&mut self, time_us: f64, offset: u64, len: u32, owner: u64) {
         self.events.push(IoEvent {
             time_us,
             op: IoOp::Read,
             offset,
             len,
+            owner,
         });
     }
 
-    /// Records a write issue.
-    pub fn record_write(&mut self, time_us: f64, offset: u64, len: u32) {
+    /// Records a write issue tagged with the owning span.
+    pub fn record_write_owned(&mut self, time_us: f64, offset: u64, len: u32, owner: u64) {
         self.events.push(IoEvent {
             time_us,
             op: IoOp::Write,
             offset,
             len,
+            owner,
         });
     }
 
@@ -176,6 +196,18 @@ impl IoStats {
         }
         *self.size_histogram.get(&len).unwrap_or(&0) as f64 / total as f64
     }
+
+    /// The exact size→count map folded into the shared log₂ bucketing
+    /// ([`sann_obs::hist::bucket_index`]). Because Fig. 6 and every
+    /// exported trace derive their buckets from this one scheme, they
+    /// cannot drift apart.
+    pub fn size_log_histogram(&self) -> sann_obs::LogHistogram {
+        let mut h = sann_obs::LogHistogram::new();
+        for (&size, &count) in &self.size_histogram {
+            h.record_n(size as u64, count);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +280,33 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn owner_tags_flow_through() {
+        let mut t = IoTracer::new();
+        t.record_read(0.0, 0, 4096);
+        t.record_read_owned(1.0, 4096, 4096, 17);
+        t.record_write_owned(2.0, 8192, 512, 17);
+        assert_eq!(t.events()[0].owner, NO_OWNER);
+        assert_eq!(t.events()[1].owner, 17);
+        assert_eq!(t.events()[2].owner, 17);
+        // Owner tags are metadata: aggregate stats are unchanged.
+        assert_eq!(t.stats().reads, 2);
+    }
+
+    #[test]
+    fn size_log_histogram_uses_shared_buckets() {
+        let stats = sample_tracer().stats();
+        let h = stats.size_log_histogram();
+        assert_eq!(h.count(), 4);
+        // All three 4096-byte requests share the bucket whose floor is
+        // 4096 under the scheme defined once in sann-obs.
+        assert_eq!(
+            sann_obs::hist::bucket_floor(sann_obs::hist::bucket_index(4096)),
+            4096
+        );
+        assert_eq!(h.nonzero_buckets(), vec![(4096, 3), (8192, 1)]);
     }
 
     #[test]

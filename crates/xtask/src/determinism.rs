@@ -9,9 +9,18 @@
 //! cell byte for byte. Any drift — a stray wall-clock read, an unordered
 //! iteration, a NaN-order flip — shows up as a byte diff long before it
 //! would be visible in rounded report tables.
+//!
+//! The audit also replays one fully-traced run per setup and byte-diffs
+//! the observability outputs across the two passes: the Chrome/Perfetto
+//! `trace.json`, the JSONL stream, and the counter/histogram registry's
+//! canonical encoding. Exported traces are part of the determinism
+//! contract — a timeline that changes between identical-seed runs is as
+//! much a bug as a drifting QPS number.
 
 use sann_bench::BenchContext;
 use sann_engine::RunMetrics;
+use sann_obs::export::{chrome_trace, jsonl};
+use sann_obs::TraceLevel;
 use sann_vdb::SetupKind;
 
 /// Dataset the audit sweeps (smallest in the catalog).
@@ -123,6 +132,32 @@ fn sweep() -> Result<Vec<Cell>, String> {
                 bytes: metrics.canonical_bytes(),
             });
         }
+        // One fully-traced run per setup: both exporters plus the
+        // registry must be byte-identical across the two passes.
+        let plans = ctx
+            .plans(&spec, kind)
+            .map_err(|e| format!("plans {kind:?}: {e}"))?;
+        let concurrency = *CONCURRENCIES.last().expect("sweep non-empty");
+        let Some(traced) = ctx.run_traced(kind, &plans, concurrency, TraceLevel::Io) else {
+            continue;
+        };
+        traced
+            .trace
+            .validate()
+            .map_err(|e| format!("{} traced run: invalid trace: {e}", kind.name()))?;
+        let label = |what: &str| format!("{}/{}/trace-{}", spec.name, kind.name(), what);
+        cells.push(Cell {
+            label: label("json"),
+            bytes: chrome_trace(&traced.trace).into_bytes(),
+        });
+        cells.push(Cell {
+            label: label("jsonl"),
+            bytes: jsonl(&traced.trace).into_bytes(),
+        });
+        cells.push(Cell {
+            label: label("registry"),
+            bytes: traced.registry.canonical_bytes(),
+        });
     }
     Ok(cells)
 }

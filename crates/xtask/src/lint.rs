@@ -59,7 +59,7 @@ pub const RULES: &[Rule] = &[
 /// Product crates scanned under `crates/` (the checker itself is exempt: it
 /// must name the banned patterns to ban them).
 pub const SCANNED_CRATES: &[&str] = &[
-    "core", "datagen", "quant", "index", "ssdsim", "engine", "vdb", "bench",
+    "core", "datagen", "quant", "index", "ssdsim", "engine", "obs", "vdb", "bench",
 ];
 
 /// One rule hit, suppressed or not.

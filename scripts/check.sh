@@ -16,4 +16,7 @@ cargo run -q -p sann-xtask -- lint
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> trace exporter golden files"
+cargo test -q -p sann-engine --test trace_golden
+
 echo "All checks passed."

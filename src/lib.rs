@@ -22,6 +22,7 @@ pub use sann_core as core;
 pub use sann_datagen as datagen;
 pub use sann_engine as engine;
 pub use sann_index as index;
+pub use sann_obs as obs;
 pub use sann_quant as quant;
 pub use sann_ssdsim as ssdsim;
 pub use sann_vdb as vdb;
