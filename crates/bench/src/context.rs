@@ -1,16 +1,27 @@
 //! Shared experiment state: datasets, ground truth, and built/tuned indexes,
 //! cached so `vdbbench all` builds everything exactly once.
 //!
-//! Three layers of caching keep the harness affordable:
+//! Four layers of caching keep the harness affordable:
 //!
 //! * **datasets** — generated + ground-truthed once per name;
 //! * **indexes** — shared across setups that build the same structure
 //!   (Milvus/Qdrant/Weaviate/LanceDB all search one HNSW build, exactly as
 //!   the paper uses the same build-time parameters across databases);
 //! * **runs** — each (setup × concurrency) simulation at tuned parameters is
-//!   executed once and reused by Figs. 2, 3, 4, and 5.
+//!   executed once and reused by Figs. 2, 3, 4, and 5;
+//! * **disk** — datasets, built indexes, and tuned knobs additionally persist
+//!   across process invocations via [`crate::cache::ArtifactCache`]
+//!   (`--cache-dir`, on by default for the CLI), so a warm `vdbbench` run
+//!   skips prep entirely.
+//!
+//! Cold prep is parallel: [`BenchContext::prefetch`] fans independent
+//! (dataset × index family) builds out over `--prep-threads` workers. The
+//! builds themselves are single-threaded and deterministic, so the artifacts
+//! are byte-identical at any thread count.
 
-use sann_core::{Metric, Result};
+use crate::cache::{self, ArtifactCache, CacheStats};
+use sann_core::buf::{ByteReader, ByteWriter};
+use sann_core::{Error, Metric, Result};
 use sann_datagen::{catalog, DatasetSpec, GroundTruth};
 use sann_engine::{Executor, QueryPlan, RunConfig, RunMetrics, TracedRun};
 use sann_index::VectorIndex;
@@ -77,6 +88,14 @@ pub struct BenchContext {
     pub trace_out: Option<std::path::PathBuf>,
     /// Span-tracing verbosity (`--trace-level {off,run,query,io}`).
     pub trace_level: TraceLevel,
+    /// Worker threads for cold-path prep builds ([`BenchContext::prefetch`]).
+    /// Artifacts are byte-identical at any value; this only changes wall
+    /// clock.
+    pub prep_threads: usize,
+    /// Persistent artifact cache; `None` (the [`BenchContext::new`] default)
+    /// keeps everything in memory, which is what tests want. The CLI enables
+    /// it at `.sann-cache` unless `--no-cache` is passed.
+    disk: Option<ArtifactCache>,
     datasets: BTreeMap<String, PreparedDataset>,
     indexes: BTreeMap<(String, &'static str), Arc<dyn VectorIndex>>,
     setups: BTreeMap<(String, SetupKind), PreparedSetup>,
@@ -95,6 +114,8 @@ impl BenchContext {
             results_dir: std::path::PathBuf::from("results"),
             trace_out: None,
             trace_level: TraceLevel::Off,
+            prep_threads: 1,
+            disk: None,
             datasets: BTreeMap::new(),
             indexes: BTreeMap::new(),
             setups: BTreeMap::new(),
@@ -104,15 +125,22 @@ impl BenchContext {
     }
 
     /// Parses harness flags (`--scale X`, `--cores N`, `--duration-secs S`,
-    /// `--dataset NAME`, `--results DIR`, `--trace-out PATH`,
+    /// `--dataset NAME`, `--results DIR`, `--cache-dir DIR`, `--no-cache`,
+    /// `--prep-threads N`, `--trace-out PATH`,
     /// `--trace-level {off,run,query,io}`). Unrecognized flags are returned
     /// for the caller (subcommand) to interpret.
+    ///
+    /// The artifact cache defaults to `.sann-cache`; `--no-cache` disables it
+    /// and `--cache-dir` moves it (last flag wins). `--prep-threads` defaults
+    /// to the machine's parallelism, capped at 8.
     ///
     /// # Errors
     ///
     /// Returns [`sann_core::Error::InvalidParameter`] on malformed values.
     pub fn from_args(args: &[String]) -> Result<(BenchContext, Vec<String>)> {
         let mut ctx = BenchContext::new(0.002);
+        ctx.prep_threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        let mut cache_dir = Some(std::path::PathBuf::from(".sann-cache"));
         let mut rest = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -138,6 +166,16 @@ impl BenchContext {
                 "--results" => {
                     ctx.results_dir = std::path::PathBuf::from(take("--results")?);
                 }
+                "--cache-dir" => {
+                    cache_dir = Some(std::path::PathBuf::from(take("--cache-dir")?));
+                }
+                "--no-cache" => {
+                    cache_dir = None;
+                }
+                "--prep-threads" => {
+                    let threads = parse_f64("--prep-threads", &take("--prep-threads")?)? as usize;
+                    ctx.prep_threads = threads.max(1);
+                }
                 "--trace-out" => {
                     ctx.trace_out = Some(std::path::PathBuf::from(take("--trace-out")?));
                 }
@@ -153,7 +191,23 @@ impl BenchContext {
                 other => rest.push(other.to_owned()),
             }
         }
+        ctx.disk = cache_dir.map(ArtifactCache::new);
         Ok((ctx, rest))
+    }
+
+    /// Enables the persistent artifact cache rooted at `dir`.
+    pub fn enable_cache(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.disk = Some(ArtifactCache::new(dir));
+    }
+
+    /// Disables the persistent artifact cache (in-memory caching only).
+    pub fn disable_cache(&mut self) {
+        self.disk = None;
+    }
+
+    /// Hit/miss counters of the artifact cache, or `None` when disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.disk.as_ref().map(ArtifactCache::stats)
     }
 
     /// The dataset specs this run covers (all four, or the `--dataset` one),
@@ -174,27 +228,105 @@ impl BenchContext {
     /// Generates (or returns cached) base/queries/ground-truth for a spec.
     pub fn dataset(&mut self, spec: &DatasetSpec) -> &PreparedDataset {
         if !self.datasets.contains_key(&spec.name) {
+            let prepared = match self.load_dataset(spec) {
+                Some(d) => d,
+                None => {
+                    eprintln!(
+                        "[prep] generating {} ({} x {}-d) + ground truth",
+                        spec.name, spec.n_base, spec.dim
+                    );
+                    let d = generate_dataset(spec);
+                    self.store_dataset(&d);
+                    d
+                }
+            };
+            self.datasets.insert(spec.name.clone(), prepared);
+        }
+        &self.datasets[&spec.name]
+    }
+
+    /// Prepares every (dataset × setup kind) this run will need, fanning cold
+    /// builds out over [`prep_threads`](BenchContext::prep_threads) worker
+    /// threads. Warm artifacts load from the disk cache instead. Tuning stays
+    /// lazy (it is cheap relative to builds and per-kind, not per-family).
+    ///
+    /// Calling this is optional — [`BenchContext::setup`] prepares the same
+    /// state serially on demand — but it is where the prep parallelism lives,
+    /// so the CLI calls it before every multi-setup subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first build error.
+    pub fn prefetch(&mut self, kinds: &[SetupKind]) -> Result<()> {
+        let specs = self.dataset_specs();
+        // Phase 1: datasets. Disk hits load serially (cheap); cold
+        // generations fan out. Progress lines print before the fan-out so
+        // their order is independent of scheduling.
+        let mut cold_specs = Vec::new();
+        for spec in &specs {
+            if self.datasets.contains_key(&spec.name) {
+                continue;
+            }
+            match self.load_dataset(spec) {
+                Some(d) => {
+                    self.datasets.insert(spec.name.clone(), d);
+                }
+                None => cold_specs.push(spec.clone()),
+            }
+        }
+        for spec in &cold_specs {
             eprintln!(
                 "[prep] generating {} ({} x {}-d) + ground truth",
                 spec.name, spec.n_base, spec.dim
             );
-            let bundle = spec.generate();
-            let truth = GroundTruth::bruteforce(&bundle.base, &bundle.queries, spec.metric, K);
-            let tune_queries = bundle.queries.truncated(TUNE_QUERIES);
-            let tune_truth = GroundTruth::bruteforce(&bundle.base, &tune_queries, spec.metric, K);
-            self.datasets.insert(
-                spec.name.clone(),
-                PreparedDataset {
-                    spec: spec.clone(),
-                    base: bundle.base,
-                    queries: bundle.queries,
-                    truth,
-                    tune_queries,
-                    tune_truth,
-                },
-            );
         }
-        &self.datasets[&spec.name]
+        for d in parallel_map(self.prep_threads, &cold_specs, generate_dataset) {
+            self.store_dataset(&d);
+            self.datasets.insert(d.spec.name.clone(), d);
+        }
+        // Phase 2: index builds, deduped per (dataset, family) exactly like
+        // the lazy path, then fanned out. Each build is single-threaded
+        // (deterministic), so artifacts are byte-identical at any
+        // `prep_threads`.
+        let mut jobs: Vec<(String, &'static str, Setup)> = Vec::new();
+        for spec in &specs {
+            for &kind in kinds {
+                let family = index_family(kind);
+                if self.indexes.contains_key(&(spec.name.clone(), family))
+                    || jobs.iter().any(|(n, f, _)| n == &spec.name && *f == family)
+                {
+                    continue;
+                }
+                let setup = Setup::new(kind, self.datasets[&spec.name].base.len());
+                if let Some(index) = self.load_index(spec, family, setup.seed) {
+                    self.indexes.insert((spec.name.clone(), family), index);
+                    continue;
+                }
+                eprintln!("[prep] building {family} index on {}", spec.name);
+                jobs.push((spec.name.clone(), family, setup));
+            }
+        }
+        let datasets = &self.datasets;
+        let built = parallel_map(self.prep_threads, &jobs, |(name, _, setup)| {
+            setup.build_index(&datasets[name].base, Metric::L2)
+        });
+        for ((name, family, setup), result) in jobs.iter().zip(built) {
+            let index = result?;
+            if let Some(bytes) = index.persist_encode() {
+                let spec = &self.datasets[name].spec;
+                let key = cache::index_key(
+                    cache::dataset_key(spec, K, TUNE_QUERIES),
+                    family,
+                    setup.seed,
+                );
+                if let Some(disk) = &mut self.disk {
+                    disk.store("index", key, &bytes);
+                }
+            }
+            self.indexes
+                .insert((name.clone(), family), Arc::from(index));
+        }
+        Ok(())
     }
 
     /// Builds and tunes (or returns cached) a setup on a dataset. Index
@@ -211,28 +343,69 @@ impl BenchContext {
             let family = index_family(kind);
             let index_key = (spec.name.clone(), family);
             if !self.indexes.contains_key(&index_key) {
-                eprintln!("[prep] building {} index on {}", family, spec.name);
-                let data = &self.datasets[&spec.name];
-                let built: Arc<dyn VectorIndex> =
-                    Arc::from(setup.build_index(&data.base, Metric::L2)?);
+                let built = match self.load_index(spec, family, setup.seed) {
+                    Some(index) => index,
+                    None => {
+                        eprintln!("[prep] building {} index on {}", family, spec.name);
+                        let index =
+                            setup.build_index(&self.datasets[&spec.name].base, Metric::L2)?;
+                        if let Some(bytes) = index.persist_encode() {
+                            let ikey = cache::index_key(
+                                cache::dataset_key(spec, K, TUNE_QUERIES),
+                                family,
+                                setup.seed,
+                            );
+                            if let Some(disk) = &mut self.disk {
+                                disk.store("index", ikey, &bytes);
+                            }
+                        }
+                        Arc::from(index)
+                    }
+                };
                 self.indexes.insert(index_key.clone(), built);
             }
             let index = Arc::clone(&self.indexes[&index_key]);
-            let data = &self.datasets[&spec.name];
-            setup.tune(
-                index.as_ref(),
-                &data.tune_queries,
-                &data.tune_truth,
-                RECALL_TARGET,
-            )?;
-            let recall = setup.recall(index.as_ref(), &data.queries, &data.truth, K)?;
-            eprintln!(
-                "[prep] {} on {}: knob={} recall@10={:.3}",
+            let tkey = cache::tuned_key(
+                cache::index_key(
+                    cache::dataset_key(spec, K, TUNE_QUERIES),
+                    family,
+                    setup.seed,
+                ),
                 kind.name(),
-                spec.name,
-                setup.knob(),
-                recall
+                RECALL_TARGET,
             );
+            let cached_tune = self
+                .disk
+                .as_mut()
+                .and_then(|disk| disk.load("tuned", tkey))
+                .and_then(|payload| decode_tuned(&payload).ok());
+            let recall = match cached_tune {
+                Some((knob, recall)) => {
+                    setup.apply_knob(knob);
+                    recall
+                }
+                None => {
+                    let data = &self.datasets[&spec.name];
+                    setup.tune(
+                        index.as_ref(),
+                        &data.tune_queries,
+                        &data.tune_truth,
+                        RECALL_TARGET,
+                    )?;
+                    let recall = setup.recall(index.as_ref(), &data.queries, &data.truth, K)?;
+                    eprintln!(
+                        "[prep] {} on {}: knob={} recall@10={:.3}",
+                        kind.name(),
+                        spec.name,
+                        setup.knob(),
+                        recall
+                    );
+                    if let Some(disk) = &mut self.disk {
+                        disk.store("tuned", tkey, &encode_tuned(setup.knob(), recall));
+                    }
+                    recall
+                }
+            };
             self.setups.insert(
                 key.clone(),
                 PreparedSetup {
@@ -243,6 +416,59 @@ impl BenchContext {
             );
         }
         Ok(&self.setups[&key])
+    }
+
+    /// Loads a prepared dataset from the disk cache, or `None` on a miss.
+    fn load_dataset(&mut self, spec: &DatasetSpec) -> Option<PreparedDataset> {
+        let disk = self.disk.as_mut()?;
+        let payload = disk.load("dataset", cache::dataset_key(spec, K, TUNE_QUERIES))?;
+        match decode_dataset(spec, &payload) {
+            Ok(d) => Some(d),
+            Err(err) => {
+                eprintln!(
+                    "[cache] ignoring stale dataset artifact for {}: {err}",
+                    spec.name
+                );
+                None
+            }
+        }
+    }
+
+    /// Stores a prepared dataset in the disk cache (no-op when disabled).
+    fn store_dataset(&mut self, d: &PreparedDataset) {
+        if let Some(disk) = &mut self.disk {
+            disk.store(
+                "dataset",
+                cache::dataset_key(&d.spec, K, TUNE_QUERIES),
+                &encode_dataset(d),
+            );
+        }
+    }
+
+    /// Loads a built index from the disk cache, or `None` on a miss.
+    fn load_index(
+        &mut self,
+        spec: &DatasetSpec,
+        family: &str,
+        build_seed: u64,
+    ) -> Option<Arc<dyn VectorIndex>> {
+        let key = cache::index_key(
+            cache::dataset_key(spec, K, TUNE_QUERIES),
+            family,
+            build_seed,
+        );
+        let disk = self.disk.as_mut()?;
+        let payload = disk.load("index", key)?;
+        match sann_index::persist::decode(&payload) {
+            Ok(index) => Some(Arc::from(index)),
+            Err(err) => {
+                eprintln!(
+                    "[cache] ignoring stale {family} index artifact for {}: {err}",
+                    spec.name
+                );
+                None
+            }
+        }
     }
 
     /// Returns the prepared dataset and setup together (both cached).
@@ -392,6 +618,113 @@ fn index_family(kind: SetupKind) -> &'static str {
     }
 }
 
+/// Generates a dataset bundle plus both ground truths. Pure function of the
+/// spec, so prefetch workers can run it without touching the context.
+fn generate_dataset(spec: &DatasetSpec) -> PreparedDataset {
+    let bundle = spec.generate();
+    let truth = GroundTruth::bruteforce(&bundle.base, &bundle.queries, spec.metric, K);
+    let tune_queries = bundle.queries.truncated(TUNE_QUERIES);
+    let tune_truth = GroundTruth::bruteforce(&bundle.base, &tune_queries, spec.metric, K);
+    PreparedDataset {
+        spec: spec.clone(),
+        base: bundle.base,
+        queries: bundle.queries,
+        truth,
+        tune_queries,
+        tune_truth,
+    }
+}
+
+/// Serializes a prepared dataset for the artifact cache. `tune_queries` is a
+/// prefix of `queries`, so it is reconstructed on decode rather than stored.
+fn encode_dataset(d: &PreparedDataset) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    d.base.encode_into(&mut w);
+    d.queries.encode_into(&mut w);
+    d.truth.encode_into(&mut w);
+    d.tune_truth.encode_into(&mut w);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_dataset`].
+fn decode_dataset(spec: &DatasetSpec, payload: &[u8]) -> Result<PreparedDataset> {
+    let mut r = ByteReader::new(payload, "dataset-artifact");
+    let base = sann_core::Dataset::decode_from(&mut r)?;
+    let queries = sann_core::Dataset::decode_from(&mut r)?;
+    let truth = GroundTruth::decode_from(&mut r)?;
+    let tune_truth = GroundTruth::decode_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(Error::Corrupt("dataset-artifact: trailing bytes".into()));
+    }
+    let tune_queries = queries.truncated(TUNE_QUERIES);
+    Ok(PreparedDataset {
+        spec: spec.clone(),
+        base,
+        queries,
+        truth,
+        tune_queries,
+        tune_truth,
+    })
+}
+
+/// Serializes a tuned knob + measured recall for the artifact cache.
+fn encode_tuned(knob: usize, recall: f64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64_le(knob as u64);
+    w.put_f64_le(recall);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_tuned`].
+fn decode_tuned(payload: &[u8]) -> Result<(usize, f64)> {
+    let mut r = ByteReader::new(payload, "tuned-artifact");
+    let knob = r.get_u64_le()? as usize;
+    let recall = r.get_f64_le()?;
+    if r.remaining() != 0 {
+        return Err(Error::Corrupt("tuned-artifact: trailing bytes".into()));
+    }
+    Ok((knob, recall))
+}
+
+/// Order-preserving parallel map: runs `f` over `items` on up to `threads`
+/// scoped workers pulling from a shared queue. `threads <= 1` degenerates to
+/// a serial map; outputs land at their input's position either way, so the
+/// thread count never affects results, only wall clock.
+fn parallel_map<T, R>(threads: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("prep worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 fn parse_f64(name: &'static str, value: &str) -> Result<f64> {
     value
         .parse()
@@ -401,6 +734,12 @@ fn parse_f64(name: &'static str, value: &str) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sann-ctx-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn parses_flags_and_passes_rest() {
@@ -421,6 +760,31 @@ mod tests {
         assert_eq!(ctx.cores, 8);
         assert_eq!(ctx.only_dataset.as_deref(), Some("cohere-s"));
         assert_eq!(rest, vec!["fig2"]);
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        let (ctx, _) = BenchContext::from_args(&[]).unwrap();
+        assert_eq!(
+            ctx.disk.as_ref().map(|c| c.dir().to_path_buf()),
+            Some(std::path::PathBuf::from(".sann-cache")),
+            "cache defaults on for the CLI"
+        );
+        assert!(ctx.prep_threads >= 1);
+        let args: Vec<String> = ["--cache-dir", "/tmp/alt", "--prep-threads", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (ctx, _) = BenchContext::from_args(&args).unwrap();
+        assert_eq!(
+            ctx.disk.as_ref().map(|c| c.dir().to_path_buf()),
+            Some(std::path::PathBuf::from("/tmp/alt"))
+        );
+        assert_eq!(ctx.prep_threads, 3);
+        let args: Vec<String> = vec!["--no-cache".into()];
+        let (ctx, _) = BenchContext::from_args(&args).unwrap();
+        assert!(ctx.disk.is_none());
+        assert!(ctx.cache_stats().is_none());
     }
 
     #[test]
@@ -500,5 +864,123 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(a.qps, b.qps);
+    }
+
+    #[test]
+    fn warm_context_replays_cold_prep_byte_identically() {
+        let dir = scratch("warm");
+        let make = || {
+            let mut ctx = BenchContext::new(0.001);
+            ctx.only_dataset = Some("cohere-s".into());
+            ctx.duration_us = 0.2e6;
+            ctx.enable_cache(&dir);
+            ctx
+        };
+        let mut cold = make();
+        let spec = cold.dataset_specs().remove(0);
+        let cold_run = cold
+            .run_tuned(&spec, SetupKind::MilvusIvf, 4)
+            .unwrap()
+            .unwrap();
+        let cold_recall = cold.setups[&(spec.name.clone(), SetupKind::MilvusIvf)].recall;
+        let mut warm = make();
+        let warm_run = warm
+            .run_tuned(&spec, SetupKind::MilvusIvf, 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cold_run.canonical_bytes(),
+            warm_run.canonical_bytes(),
+            "warm run must replay the cold run exactly"
+        );
+        let warm_setup = &warm.setups[&(spec.name.clone(), SetupKind::MilvusIvf)];
+        assert_eq!(warm_setup.recall, cold_recall);
+        let stats = warm.cache_stats().unwrap();
+        assert_eq!(
+            stats.misses, 0,
+            "warm run must hit every artifact: {stats:?}"
+        );
+        assert!(stats.hits >= 3, "dataset + index + tuned knob: {stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_cache_entry_is_detected_and_rebuilt() {
+        let dir = scratch("trunc");
+        let mut cold = BenchContext::new(0.001);
+        cold.only_dataset = Some("cohere-s".into());
+        cold.enable_cache(&dir);
+        let spec = cold.dataset_specs().remove(0);
+        let base_len = cold.dataset(&spec).base.len();
+        // Truncate the stored artifact in place.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+        let mut warm = BenchContext::new(0.001);
+        warm.only_dataset = Some("cohere-s".into());
+        warm.enable_cache(&dir);
+        assert_eq!(warm.dataset(&spec).base.len(), base_len, "rebuilt");
+        let stats = warm.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.corrupt), (0, 1), "{stats:?}");
+        // The rebuild re-stored a valid entry.
+        let mut third = BenchContext::new(0.001);
+        third.only_dataset = Some("cohere-s".into());
+        third.enable_cache(&dir);
+        third.dataset(&spec);
+        assert_eq!(third.cache_stats().unwrap().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefetch_thread_count_does_not_change_artifacts() {
+        let kinds = [SetupKind::MilvusIvf, SetupKind::MilvusHnsw];
+        let mut dirs = Vec::new();
+        for threads in [1usize, 4] {
+            let dir = scratch(&format!("par{threads}"));
+            let mut ctx = BenchContext::new(0.001);
+            ctx.only_dataset = Some("cohere-s".into());
+            ctx.prep_threads = threads;
+            ctx.enable_cache(&dir);
+            ctx.prefetch(&kinds).unwrap();
+            dirs.push(dir);
+        }
+        let list = |dir: &std::path::Path| -> Vec<String> {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .collect();
+            names.sort();
+            names
+        };
+        let (serial, parallel) = (&dirs[0], &dirs[1]);
+        let names = list(serial);
+        assert_eq!(names, list(parallel), "same artifact set");
+        assert!(names.len() >= 3, "dataset + 2 index families: {names:?}");
+        for name in &names {
+            assert_eq!(
+                std::fs::read(serial.join(name)).unwrap(),
+                std::fs::read(parallel.join(name)).unwrap(),
+                "{name} differs between prep_threads=1 and =4"
+            );
+        }
+        for dir in &dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn prefetch_satisfies_setup_without_rebuilding() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.prep_threads = 2;
+        let spec = ctx.dataset_specs().remove(0);
+        ctx.prefetch(&[SetupKind::MilvusHnsw]).unwrap();
+        ctx.setup(&spec, SetupKind::MilvusHnsw).unwrap();
+        ctx.setup(&spec, SetupKind::QdrantHnsw).unwrap();
+        let a = Arc::as_ptr(&ctx.setups[&(spec.name.clone(), SetupKind::MilvusHnsw)].index);
+        let b = Arc::as_ptr(&ctx.setups[&(spec.name.clone(), SetupKind::QdrantHnsw)].index);
+        assert_eq!(a, b, "setups reuse the prefetched build");
     }
 }

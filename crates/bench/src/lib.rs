@@ -20,6 +20,7 @@
 //! Results print as aligned text tables and are also written as CSV under
 //! `results/`.
 
+pub mod cache;
 pub mod context;
 pub mod ext_filter;
 pub mod ext_rw;

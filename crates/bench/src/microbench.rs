@@ -147,6 +147,9 @@ fn run_one(criterion: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) -
     }
 
     let sample_budget = criterion.measurement_time.as_secs_f64() / criterion.sample_size as f64;
+    // per_iter is floored at 1e-9 above, so the quotient is finite and
+    // non-negative; the saturating cast plus the clamp bound iters even for
+    // degenerate budgets.
     let iters = ((sample_budget / per_iter) as u64).clamp(1, 1 << 24);
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(criterion.sample_size);

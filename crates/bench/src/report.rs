@@ -36,8 +36,12 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders as an aligned text table.
+    /// Renders as an aligned text table (empty string for a zero-column
+    /// table, which has nothing to align).
     pub fn to_text(&self) -> String {
+        if self.header.is_empty() {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -179,6 +183,18 @@ mod tests {
         assert_eq!(t.to_csv().lines().nth(1).unwrap(), "1,,");
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        let empty: [&str; 0] = [];
+        let mut t = Table::new(empty);
+        assert_eq!(t.to_text(), "");
+        assert_eq!(t.to_string(), "");
+        // A zero-column row is representable too (it pads to zero cells).
+        t.row(empty);
+        assert_eq!(t.to_text(), "");
+        assert_eq!(t.to_csv(), "\n\n");
     }
 
     #[test]

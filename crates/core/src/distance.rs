@@ -58,6 +58,26 @@ impl Metric {
             _ => None,
         }
     }
+
+    /// The single-byte wire tag used by every binary codec in the workspace
+    /// (collection snapshots, index artifacts, cache keys).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Metric::L2 => 0,
+            Metric::InnerProduct => 1,
+            Metric::Cosine => 2,
+        }
+    }
+
+    /// Inverse of [`Metric::tag`].
+    pub fn from_tag(tag: u8) -> Option<Metric> {
+        match tag {
+            0 => Some(Metric::L2),
+            1 => Some(Metric::InnerProduct),
+            2 => Some(Metric::Cosine),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Metric {

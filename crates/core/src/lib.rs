@@ -36,6 +36,7 @@ pub mod buf;
 pub mod check;
 pub mod distance;
 pub mod error;
+pub mod hash;
 pub mod recall;
 pub mod rng;
 pub mod stats;

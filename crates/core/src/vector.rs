@@ -168,6 +168,42 @@ impl Dataset {
     pub fn row_bytes(&self) -> usize {
         self.dim * std::mem::size_of::<f32>()
     }
+
+    /// Appends the canonical little-endian encoding (`dim`, `n`, then the
+    /// flat row-major `f32` bit patterns) to `buf`. Two datasets encode to
+    /// the same bytes iff they are bit-identical, so this doubles as a
+    /// fingerprintable form for artifact-cache keys.
+    pub fn encode_into(&self, buf: &mut crate::buf::ByteWriter) {
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u64_le(self.len() as u64);
+        for &x in &self.data {
+            buf.put_f32_le(x);
+        }
+    }
+
+    /// Reads a dataset previously written by [`Dataset::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation or a zero dimension.
+    pub fn decode_from(r: &mut crate::buf::ByteReader<'_>) -> Result<Dataset> {
+        let dim = r.get_u32_le()? as usize;
+        let n = r.get_u64_le()? as usize;
+        if dim == 0 {
+            return Err(Error::Corrupt("dataset: zero dimension".into()));
+        }
+        let total = n
+            .checked_mul(dim)
+            .ok_or_else(|| Error::Corrupt("dataset: size overflow".into()))?;
+        if r.remaining() < total * 4 {
+            return Err(Error::Corrupt("dataset: truncated vectors".into()));
+        }
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
+            data.push(r.get_f32_le()?);
+        }
+        Ok(Dataset { data, dim })
+    }
 }
 
 /// Iterator over the rows of a [`Dataset`].
@@ -298,5 +334,33 @@ mod tests {
     fn row_bytes_counts_f32() {
         let d = Dataset::with_dim(768);
         assert_eq!(d.row_bytes(), 3072);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exact() {
+        let d = Dataset::from_rows(vec![vec![1.5, -0.0], vec![f32::MIN_POSITIVE, 3e9]]).unwrap();
+        let mut w = crate::buf::ByteWriter::new();
+        d.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::buf::ByteReader::new(&bytes, "test");
+        let back = Dataset::decode_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.dim(), 2);
+        assert_eq!(back.as_flat(), d.as_flat());
+        // -0.0 survives as a bit pattern.
+        assert!(back.row(0)[1].is_sign_negative());
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let d = Dataset::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let mut w = crate::buf::ByteWriter::new();
+        d.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::buf::ByteReader::new(&bytes[..bytes.len() - 1], "test");
+        assert!(matches!(
+            Dataset::decode_from(&mut r),
+            Err(Error::Corrupt(_))
+        ));
     }
 }

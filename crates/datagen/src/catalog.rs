@@ -13,6 +13,7 @@
 //! preserved at every scale.
 
 use crate::synth::EmbeddingModel;
+use sann_core::buf::ByteWriter;
 use sann_core::{Dataset, Metric};
 
 /// Number of query vectors per dataset (the paper uses 1,000).
@@ -69,6 +70,22 @@ impl DatasetSpec {
     /// memory or on disk before any index overhead).
     pub fn base_bytes(&self) -> u64 {
         self.n_base as u64 * self.dim as u64 * 4
+    }
+
+    /// Content hash of every generation-relevant field (name, shape, metric,
+    /// cluster count, seed). Two specs share a key iff [`generate`]
+    /// (DatasetSpec::generate) provably produces identical bytes, which is
+    /// what makes the key safe to address cached artifacts with.
+    pub fn content_key(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.name);
+        w.put_u64_le(self.dim as u64);
+        w.put_u64_le(self.n_base as u64);
+        w.put_u64_le(self.n_queries as u64);
+        w.put_u8(self.metric.tag());
+        w.put_u64_le(self.clusters as u64);
+        w.put_u64_le(self.seed);
+        sann_core::hash::fnv1a64(w.as_slice())
     }
 }
 
@@ -185,5 +202,26 @@ mod tests {
     #[test]
     fn base_bytes_is_exact() {
         assert_eq!(cohere_s().base_bytes(), 1_000_000 * 768 * 4);
+    }
+
+    #[test]
+    fn content_key_covers_every_generation_field() {
+        let base = cohere_s().scaled(0.01);
+        let key = base.content_key();
+        assert_eq!(key, cohere_s().scaled(0.01).content_key(), "stable");
+        let mut renamed = base.clone();
+        renamed.name = "cohere-x".into();
+        let mut reseeded = base.clone();
+        reseeded.seed ^= 1;
+        let mut reshaped = base.clone();
+        reshaped.n_base += 1;
+        let mut remetric = base.clone();
+        remetric.metric = Metric::Cosine;
+        let mut reclustered = base.clone();
+        reclustered.clusters += 1;
+        for other in [renamed, reseeded, reshaped, remetric, reclustered] {
+            assert_ne!(key, other.content_key(), "{other:?}");
+        }
+        assert_ne!(key, base.scaled(0.5).content_key());
     }
 }

@@ -1,6 +1,7 @@
 //! Exact k-nearest-neighbor ground truth via parallel brute force.
 
-use sann_core::{Dataset, Metric, TopK};
+use sann_core::buf::{ByteReader, ByteWriter};
+use sann_core::{Dataset, Error, Metric, Result, TopK};
 
 /// Exact nearest neighbors for a query set, used to score recall@k.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +82,53 @@ impl GroundTruth {
     pub fn mean_recall(&self, results: &[Vec<u32>]) -> f64 {
         sann_core::recall::mean_recall_at_k(&self.ids, results, self.k)
     }
+
+    /// Appends the canonical little-endian encoding (`k`, query count, then
+    /// each query's neighbor list with a length prefix) to `buf`.
+    pub fn encode_into(&self, buf: &mut ByteWriter) {
+        buf.put_u32_le(self.k as u32);
+        buf.put_u64_le(self.ids.len() as u64);
+        for list in &self.ids {
+            buf.put_u32_le(list.len() as u32);
+            for &id in list {
+                buf.put_u32_le(id);
+            }
+        }
+    }
+
+    /// Reads a ground truth previously written by
+    /// [`GroundTruth::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation, `k == 0`, or a neighbor
+    /// list longer than `k`.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<GroundTruth> {
+        let k = r.get_u32_le()? as usize;
+        if k == 0 {
+            return Err(Error::Corrupt("groundtruth: zero k".into()));
+        }
+        let n = r.get_u64_le()? as usize;
+        if r.remaining() < n.saturating_mul(4) {
+            return Err(Error::Corrupt("groundtruth: truncated lists".into()));
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.get_u32_le()? as usize;
+            if len > k {
+                return Err(Error::Corrupt("groundtruth: list longer than k".into()));
+            }
+            if r.remaining() < len * 4 {
+                return Err(Error::Corrupt("groundtruth: truncated neighbors".into()));
+            }
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                list.push(r.get_u32_le()?);
+            }
+            ids.push(list);
+        }
+        Ok(GroundTruth { k, ids })
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +192,49 @@ mod tests {
         let queries = random_dataset(2, 4, 7);
         let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
         assert_eq!(gt.neighbors(0).len(), 3);
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let base = random_dataset(40, 8, 8);
+        let queries = random_dataset(9, 8, 9);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 4);
+        let mut w = ByteWriter::new();
+        gt.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        let back = GroundTruth::decode_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, gt);
+    }
+
+    #[test]
+    fn codec_round_trips_short_lists() {
+        // k larger than the base set leaves lists shorter than k.
+        let base = random_dataset(3, 4, 10);
+        let queries = random_dataset(2, 4, 11);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 10);
+        let mut w = ByteWriter::new();
+        gt.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let back = GroundTruth::decode_from(&mut ByteReader::new(&bytes, "test")).unwrap();
+        assert_eq!(back, gt);
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let base = random_dataset(20, 4, 12);
+        let queries = random_dataset(5, 4, 13);
+        let gt = GroundTruth::bruteforce(&base, &queries, Metric::L2, 3);
+        let mut w = ByteWriter::new();
+        gt.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut], "test");
+            assert!(
+                matches!(GroundTruth::decode_from(&mut r), Err(Error::Corrupt(_))),
+                "cut={cut}"
+            );
+        }
     }
 }

@@ -12,6 +12,32 @@ use std::collections::{BinaryHeap, VecDeque};
 
 const NS_PER_US: f64 = 1_000.0;
 
+/// Converts simulated microseconds to integer nanoseconds.
+///
+/// An `as u64` cast saturates on overflow but silently maps NaN to 0 and
+/// truncates negatives, which would corrupt the event clock far from the bug
+/// that produced the value — so debug builds assert the input is a finite,
+/// non-negative duration. The arithmetic is exactly `(us * NS_PER_US) as
+/// u64`, keeping golden traces bit-identical to the open-coded casts this
+/// replaces.
+pub(crate) fn us_to_ns(us: f64) -> u64 {
+    debug_assert!(
+        us.is_finite() && us >= 0.0,
+        "duration must be a finite non-negative µs value, got {us}"
+    );
+    (us * NS_PER_US) as u64
+}
+
+/// Like [`us_to_ns`] but rounding up — used for per-subtask CPU slices so
+/// fanout never rounds a positive amount of work down to zero.
+pub(crate) fn us_to_ns_ceil(us: f64) -> u64 {
+    debug_assert!(
+        us.is_finite() && us >= 0.0,
+        "duration must be a finite non-negative µs value, got {us}"
+    );
+    (us * NS_PER_US).ceil() as u64
+}
+
 /// Configuration of one simulated measurement run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
@@ -224,7 +250,7 @@ impl<'a> Simulation<'a> {
         Simulation {
             config,
             plans,
-            duration_ns: (config.duration_us * NS_PER_US) as u64,
+            duration_ns: us_to_ns(config.duration_us),
             events: BinaryHeap::new(),
             event_payload: Vec::new(),
             seq: 0,
@@ -464,7 +490,7 @@ impl<'a> Simulation<'a> {
                     let label = self.seg_phases[plan_idx][seg_idx];
                     self.set_phase(query, label, t);
                     let fanout = (*fanout).max(1);
-                    let sub_ns = ((total_us / fanout as f64) * NS_PER_US).ceil() as u64;
+                    let sub_ns = us_to_ns_ceil(total_us / fanout as f64);
                     {
                         let q = &mut self.queries[query];
                         q.phase = Phase::Cpu;
@@ -481,7 +507,7 @@ impl<'a> Simulation<'a> {
                         continue;
                     }
                     self.set_phase(query, ObsPhase::Delay, t);
-                    let at = t + (us * NS_PER_US) as u64;
+                    let at = t + us_to_ns(*us);
                     self.push_event(at, EventKind::Delay { query });
                     return;
                 }
@@ -493,8 +519,7 @@ impl<'a> Simulation<'a> {
                     self.set_phase(query, ObsPhase::BeamIssue, t);
                     // Submission runs on a core first; the requests are
                     // issued when it completes.
-                    let submit_ns =
-                        (reqs.len() as f64 * self.config.ssd.submit_cpu_us * NS_PER_US) as u64;
+                    let submit_ns = us_to_ns(reqs.len() as f64 * self.config.ssd.submit_cpu_us);
                     {
                         let q = &mut self.queries[query];
                         q.phase = Phase::IoSubmit;
@@ -544,7 +569,7 @@ impl<'a> Simulation<'a> {
                         self.tracer.record_write_owned(t_us, r.offset, r.len, owner);
                         self.writes_device += 1;
                         let done_us = self.device.schedule_write(t_us, r.len);
-                        (done_us * NS_PER_US) as u64
+                        us_to_ns(done_us)
                     } else {
                         self.query_io_count += 1;
                         self.query_read_bytes += r.len as u64;
@@ -556,7 +581,7 @@ impl<'a> Simulation<'a> {
                         self.tracer.record_read_owned(t_us, r.offset, r.len, owner);
                         self.reads_device += 1;
                         let done_us = self.device.schedule(t_us, r.len);
-                        (done_us * NS_PER_US) as u64
+                        us_to_ns(done_us)
                     };
                     self.push_event(done_ns, EventKind::Io { query });
                     if record_io {
@@ -662,6 +687,32 @@ mod tests {
 
     fn cpu_plan(us: f64) -> QueryPlan {
         QueryPlan::new(vec![Segment::cpu(us)])
+    }
+
+    #[test]
+    fn us_to_ns_matches_the_open_coded_casts() {
+        // Bit-exact with the expressions these helpers replaced, so golden
+        // traces and determinism baselines are unchanged.
+        for us in [0.0, 0.1, 1.0, 3.7, 12.5, 1e6, 30e6, 1.0 / 3.0] {
+            assert_eq!(us_to_ns(us), (us * NS_PER_US) as u64, "us={us}");
+            assert_eq!(us_to_ns_ceil(us), (us * NS_PER_US).ceil() as u64, "us={us}");
+        }
+        assert_eq!(us_to_ns_ceil(0.0001), 1, "ceil keeps sub-ns work nonzero");
+        assert_eq!(us_to_ns(0.0001), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "finite non-negative")]
+    fn us_to_ns_rejects_nan_in_debug() {
+        us_to_ns(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "finite non-negative")]
+    fn us_to_ns_ceil_rejects_negative_in_debug() {
+        us_to_ns_ceil(-1.0);
     }
 
     #[test]

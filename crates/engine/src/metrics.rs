@@ -134,7 +134,7 @@ mod tests {
     fn registry_with_us(latencies_us: &[f64]) -> Registry {
         let mut r = Registry::new();
         for &us in latencies_us {
-            let ns = (us * 1000.0) as u64;
+            let ns = crate::executor::us_to_ns(us);
             let mut phases = [0u64; Phase::COUNT];
             phases[Phase::Compute.index()] = ns;
             r.record_query(ns, &phases);

@@ -130,6 +130,43 @@ impl DiskAnnIndex {
     pub fn medoid(&self) -> u32 {
         self.graph.medoid()
     }
+
+    pub(crate) fn persist_payload(&self, w: &mut sann_core::buf::ByteWriter) {
+        w.put_u8(self.metric.tag());
+        w.put_u64_le(self.layout.base_offset());
+        self.data.encode_into(w);
+        self.graph.encode_into(w);
+        self.pq.encode_into(w);
+        w.put_u64_le(self.codes.len() as u64);
+        w.put_slice(&self.codes);
+    }
+
+    pub(crate) fn from_persist(r: &mut sann_core::buf::ByteReader<'_>) -> Result<DiskAnnIndex> {
+        let metric = Metric::from_tag(r.get_u8()?)
+            .ok_or_else(|| Error::Corrupt("diskann: unknown metric tag".into()))?;
+        let base_offset = r.get_u64_le()?;
+        if base_offset % crate::layout::SECTOR_BYTES != 0 {
+            return Err(Error::Corrupt("diskann: unaligned base offset".into()));
+        }
+        let data = Dataset::decode_from(r)?;
+        let graph = VamanaGraph::decode_from(r)?;
+        let pq = sann_quant::ProductQuantizer::decode_from(r)?;
+        let len = r.get_u64_le()? as usize;
+        if graph.len() != data.len() || pq.dim() != data.dim() || len != data.len() * pq.m() {
+            return Err(Error::Corrupt("diskann: component shape mismatch".into()));
+        }
+        let codes = r.take(len)?.to_vec();
+        let node_bytes = (data.dim() * 4 + 4 + graph.r() * 4) as u64;
+        let layout = DiskLayout::new(data.len() as u64, node_bytes, base_offset);
+        Ok(DiskAnnIndex {
+            data,
+            metric,
+            graph,
+            pq,
+            codes,
+            layout,
+        })
+    }
 }
 
 /// Candidate list entry during beam search.
@@ -269,6 +306,12 @@ impl VectorIndex for DiskAnnIndex {
 
     fn storage_bytes(&self) -> u64 {
         self.layout.total_bytes()
+    }
+
+    fn persist_encode(&self) -> Option<Vec<u8>> {
+        Some(crate::persist::frame(self.kind(), |w| {
+            self.persist_payload(w)
+        }))
     }
 }
 

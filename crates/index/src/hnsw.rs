@@ -374,6 +374,76 @@ impl HnswIndex {
         best.into_sorted_vec()
     }
 
+    pub(crate) fn persist_payload(&self, w: &mut sann_core::buf::ByteWriter) {
+        w.put_u8(self.metric.tag());
+        w.put_u32_le(self.config.m as u32);
+        w.put_u32_le(self.config.ef_construction as u32);
+        w.put_u64_le(self.config.seed);
+        w.put_u32_le(self.config.threads as u32);
+        w.put_u32_le(self.entry);
+        w.put_u32_le(self.max_level as u32);
+        self.data.encode_into(w);
+        for per_level in &self.links {
+            w.put_u32_le(per_level.len() as u32);
+            for adj in per_level {
+                w.put_u32_le(adj.len() as u32);
+                for &n in adj {
+                    w.put_u32_le(n);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn from_persist(r: &mut sann_core::buf::ByteReader<'_>) -> Result<HnswIndex> {
+        let metric = Metric::from_tag(r.get_u8()?)
+            .ok_or_else(|| Error::Corrupt("hnsw: unknown metric tag".into()))?;
+        let config = HnswConfig {
+            m: r.get_u32_le()? as usize,
+            ef_construction: r.get_u32_le()? as usize,
+            seed: r.get_u64_le()?,
+            threads: r.get_u32_le()? as usize,
+        };
+        let entry = r.get_u32_le()?;
+        let max_level = r.get_u32_le()? as usize;
+        let data = Dataset::decode_from(r)?;
+        let n = data.len();
+        if entry as usize >= n || max_level > 32 {
+            return Err(Error::Corrupt("hnsw: entry/level out of range".into()));
+        }
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let levels = r.get_u32_le()? as usize;
+            if levels == 0 || levels > 33 {
+                return Err(Error::Corrupt("hnsw: bad level count".into()));
+            }
+            let mut per_level = Vec::with_capacity(levels);
+            for _ in 0..levels {
+                let len = r.get_u32_le()? as usize;
+                if r.remaining() < len * 4 {
+                    return Err(Error::Corrupt("hnsw: truncated adjacency".into()));
+                }
+                let mut adj = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let nb = r.get_u32_le()?;
+                    if nb as usize >= n {
+                        return Err(Error::Corrupt("hnsw: neighbor out of range".into()));
+                    }
+                    adj.push(nb);
+                }
+                per_level.push(adj);
+            }
+            links.push(per_level);
+        }
+        Ok(HnswIndex {
+            data,
+            metric,
+            links,
+            entry,
+            max_level,
+            config,
+        })
+    }
+
     /// The raw vectors the index was built over.
     pub(crate) fn data(&self) -> &Dataset {
         &self.data
@@ -447,6 +517,12 @@ impl VectorIndex for HnswIndex {
 
     fn storage_bytes(&self) -> u64 {
         0
+    }
+
+    fn persist_encode(&self) -> Option<Vec<u8>> {
+        Some(crate::persist::frame(self.kind(), |w| {
+            self.persist_payload(w)
+        }))
     }
 }
 

@@ -52,6 +52,24 @@ impl HnswSqIndex {
         &self.sq
     }
 
+    pub(crate) fn persist_payload(&self, w: &mut sann_core::buf::ByteWriter) {
+        self.inner.persist_payload(w);
+        self.sq.encode_into(w);
+        w.put_u64_le(self.codes.len() as u64);
+        w.put_slice(&self.codes);
+    }
+
+    pub(crate) fn from_persist(r: &mut sann_core::buf::ByteReader<'_>) -> Result<HnswSqIndex> {
+        let inner = HnswIndex::from_persist(r)?;
+        let sq = ScalarQuantizer::decode_from(r)?;
+        let len = r.get_u64_le()? as usize;
+        if sq.dim() != inner.dim() || len != inner.len() * inner.dim() {
+            return Err(Error::Corrupt("hnsw-sq: code matrix mismatch".into()));
+        }
+        let codes = r.take(len)?.to_vec();
+        Ok(HnswSqIndex { inner, sq, codes })
+    }
+
     fn code(&self, id: u32) -> &[u8] {
         let dim = self.inner.dim();
         &self.codes[id as usize * dim..(id as usize + 1) * dim]
@@ -114,6 +132,12 @@ impl VectorIndex for HnswSqIndex {
 
     fn storage_bytes(&self) -> u64 {
         0
+    }
+
+    fn persist_encode(&self) -> Option<Vec<u8>> {
+        Some(crate::persist::frame(self.kind(), |w| {
+            self.persist_payload(w)
+        }))
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::layout::range_reqs;
 use crate::trace::{QueryTrace, SearchOutput};
 use crate::{SearchParams, VectorIndex};
+use sann_core::buf::{ByteReader, ByteWriter};
 use sann_core::{Dataset, Error, Metric, Result, TopK};
 use sann_quant::{KMeans, KMeansModel, ProductQuantizer};
 
@@ -72,10 +73,7 @@ impl IvfIndex {
             .with_sample_limit(config.train_sample)
             .with_max_iters(config.kmeans_iters)
             .fit(data)?;
-        let mut lists = vec![Vec::new(); nlist];
-        for (id, &c) in kmeans.assignments.iter().enumerate() {
-            lists[c as usize].push(id as u32);
-        }
+        let lists = lists_from_assignments(&kmeans.assignments, nlist);
         Ok(IvfIndex {
             data: data.clone(),
             metric,
@@ -93,6 +91,39 @@ impl IvfIndex {
     pub fn list_sizes(&self) -> Vec<usize> {
         self.lists.iter().map(Vec::len).collect()
     }
+
+    pub(crate) fn persist_payload(&self, w: &mut ByteWriter) {
+        w.put_u8(self.metric.tag());
+        self.data.encode_into(w);
+        self.kmeans.encode_into(w);
+    }
+
+    pub(crate) fn from_persist(r: &mut ByteReader<'_>) -> Result<IvfIndex> {
+        let metric = Metric::from_tag(r.get_u8()?)
+            .ok_or_else(|| Error::Corrupt("ivf: unknown metric tag".into()))?;
+        let data = Dataset::decode_from(r)?;
+        let kmeans = KMeansModel::decode_from(r)?;
+        if kmeans.assignments.len() != data.len() {
+            return Err(Error::Corrupt("ivf: assignment count mismatch".into()));
+        }
+        let lists = lists_from_assignments(&kmeans.assignments, kmeans.centroids.len());
+        Ok(IvfIndex {
+            data,
+            metric,
+            kmeans,
+            lists,
+        })
+    }
+}
+
+/// Rebuilds the inverted lists from k-means assignments (ids in id order per
+/// list, exactly as the build path produces them).
+fn lists_from_assignments(assignments: &[u32], nlist: usize) -> Vec<Vec<u32>> {
+    let mut lists = vec![Vec::new(); nlist];
+    for (id, &c) in assignments.iter().enumerate() {
+        lists[c as usize].push(id as u32);
+    }
+    lists
 }
 
 impl VectorIndex for IvfIndex {
@@ -147,6 +178,12 @@ impl VectorIndex for IvfIndex {
     fn storage_bytes(&self) -> u64 {
         0
     }
+
+    fn persist_encode(&self) -> Option<Vec<u8>> {
+        Some(crate::persist::frame(self.kind(), |w| {
+            self.persist_payload(w)
+        }))
+    }
 }
 
 /// Storage-based IVF with product quantization (the paper's LanceDB-IVF
@@ -193,30 +230,44 @@ impl IvfPqIndex {
             .with_max_iters(config.kmeans_iters)
             .fit(data)?;
         let pq = ProductQuantizer::train(data, pq_m, pq_ksub, config.seed ^ 0x9AF1)?;
-        let mut lists = vec![Vec::new(); nlist];
-        for (id, &c) in kmeans.assignments.iter().enumerate() {
-            lists[c as usize].push(id as u32);
-        }
-        let entry_bytes = 4 + pq.code_bytes() as u64; // id + code
+        let lists = lists_from_assignments(&kmeans.assignments, nlist);
         let mut codes = Vec::with_capacity(nlist);
-        let mut list_offsets = Vec::with_capacity(nlist);
-        let mut list_bytes = Vec::with_capacity(nlist);
-        let mut offset = 0u64;
         for list in &lists {
             let mut c = Vec::with_capacity(list.len() * pq.code_bytes());
             for &id in list {
                 c.extend_from_slice(&pq.encode(data.row(id as usize)));
             }
             codes.push(c);
-            // Posting lists are stored back to back, each starting on a
-            // sector boundary.
+        }
+        Ok(IvfPqIndex::assemble(data.dim(), kmeans, pq, lists, codes))
+    }
+
+    /// Number of clusters.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Computes the on-device placement of the posting lists (stored back to
+    /// back, each starting on a sector boundary) and assembles the index.
+    fn assemble(
+        dim: usize,
+        kmeans: KMeansModel,
+        pq: ProductQuantizer,
+        lists: Vec<Vec<u32>>,
+        codes: Vec<Vec<u8>>,
+    ) -> IvfPqIndex {
+        let entry_bytes = 4 + pq.code_bytes() as u64; // id + code
+        let mut list_offsets = Vec::with_capacity(lists.len());
+        let mut list_bytes = Vec::with_capacity(lists.len());
+        let mut offset = 0u64;
+        for list in &lists {
             let bytes = list.len() as u64 * entry_bytes;
             list_offsets.push(offset);
             list_bytes.push(bytes);
             offset += bytes.div_ceil(crate::layout::SECTOR_BYTES) * crate::layout::SECTOR_BYTES;
         }
-        Ok(IvfPqIndex {
-            dim: data.dim(),
+        IvfPqIndex {
+            dim,
             kmeans,
             pq,
             lists,
@@ -224,12 +275,36 @@ impl IvfPqIndex {
             list_offsets,
             list_bytes,
             total_storage: offset,
-        })
+        }
     }
 
-    /// Number of clusters.
-    pub fn nlist(&self) -> usize {
-        self.lists.len()
+    pub(crate) fn persist_payload(&self, w: &mut ByteWriter) {
+        w.put_u32_le(self.dim as u32);
+        self.kmeans.encode_into(w);
+        self.pq.encode_into(w);
+        for codes in &self.codes {
+            w.put_u64_le(codes.len() as u64);
+            w.put_slice(codes);
+        }
+    }
+
+    pub(crate) fn from_persist(r: &mut ByteReader<'_>) -> Result<IvfPqIndex> {
+        let dim = r.get_u32_le()? as usize;
+        let kmeans = KMeansModel::decode_from(r)?;
+        let pq = ProductQuantizer::decode_from(r)?;
+        if pq.dim() != dim || kmeans.centroids.dim() != dim {
+            return Err(Error::Corrupt("ivf-pq: dimension mismatch".into()));
+        }
+        let lists = lists_from_assignments(&kmeans.assignments, kmeans.centroids.len());
+        let mut codes = Vec::with_capacity(lists.len());
+        for list in &lists {
+            let len = r.get_u64_le()? as usize;
+            if len != list.len() * pq.code_bytes() {
+                return Err(Error::Corrupt("ivf-pq: code block length mismatch".into()));
+            }
+            codes.push(r.take(len)?.to_vec());
+        }
+        Ok(IvfPqIndex::assemble(dim, kmeans, pq, lists, codes))
     }
 }
 
@@ -287,6 +362,12 @@ impl VectorIndex for IvfPqIndex {
 
     fn storage_bytes(&self) -> u64 {
         self.total_storage
+    }
+
+    fn persist_encode(&self) -> Option<Vec<u8>> {
+        Some(crate::persist::frame(self.kind(), |w| {
+            self.persist_payload(w)
+        }))
     }
 }
 

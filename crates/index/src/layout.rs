@@ -86,6 +86,12 @@ impl DiskLayout {
         self.n_nodes
     }
 
+    /// Byte offset of the first record (the region start passed to
+    /// [`DiskLayout::new`]).
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
     /// First sector (byte offset) of node `id`.
     ///
     /// # Panics

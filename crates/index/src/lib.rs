@@ -43,6 +43,7 @@ pub mod hnsw_sq;
 pub mod ivf;
 pub mod layout;
 pub mod par;
+pub mod persist;
 pub mod spann;
 pub mod trace;
 pub mod vamana;
@@ -161,6 +162,13 @@ pub trait VectorIndex: Send + Sync {
 
     /// Bytes of storage the index occupies (0 for memory-based indexes).
     fn storage_bytes(&self) -> u64;
+
+    /// Serializes the index into the self-describing artifact frame decoded
+    /// by [`persist::decode`], or `None` for kinds that do not support
+    /// persistence (those are rebuilt instead of cached).
+    fn persist_encode(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Convenience: runs `search` for a batch of queries, returning ids per query

@@ -152,6 +152,56 @@ impl VamanaGraph {
         self.adj.iter().map(|a| a.len() as u64).sum()
     }
 
+    /// Appends the canonical little-endian encoding (degree bound, medoid,
+    /// then per-node adjacency lists) to `buf`.
+    pub fn encode_into(&self, buf: &mut sann_core::buf::ByteWriter) {
+        buf.put_u32_le(self.r as u32);
+        buf.put_u32_le(self.medoid);
+        buf.put_u64_le(self.adj.len() as u64);
+        for nbrs in &self.adj {
+            buf.put_u32_le(nbrs.len() as u32);
+            for &n in nbrs {
+                buf.put_u32_le(n);
+            }
+        }
+    }
+
+    /// Reads a graph previously written by [`VamanaGraph::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation or an out-of-range medoid /
+    /// neighbor id.
+    pub fn decode_from(r: &mut sann_core::buf::ByteReader<'_>) -> Result<VamanaGraph> {
+        let degree = r.get_u32_le()? as usize;
+        let medoid = r.get_u32_le()?;
+        let n = r.get_u64_le()? as usize;
+        if medoid as usize >= n {
+            return Err(Error::Corrupt("vamana: medoid out of range".into()));
+        }
+        let mut adj = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.get_u32_le()? as usize;
+            if r.remaining() < len * 4 {
+                return Err(Error::Corrupt("vamana: truncated adjacency".into()));
+            }
+            let mut nbrs = Vec::with_capacity(len);
+            for _ in 0..len {
+                let nb = r.get_u32_le()?;
+                if nb as usize >= n {
+                    return Err(Error::Corrupt("vamana: neighbor out of range".into()));
+                }
+                nbrs.push(nb);
+            }
+            adj.push(nbrs);
+        }
+        Ok(VamanaGraph {
+            adj,
+            medoid,
+            r: degree,
+        })
+    }
+
     /// Greedy best-first search over the graph in memory (used by tests and
     /// as the reference for DiskANN's beam search). Returns the `l` best
     /// candidates found plus the number of distance evaluations.

@@ -155,6 +155,43 @@ impl KMeansModel {
             .map(|(row, &a)| l2_squared(row, self.centroids.row(a as usize)) as f64)
             .sum()
     }
+
+    /// Appends the canonical little-endian encoding (centroids, then the
+    /// assignment vector) to `buf`.
+    pub fn encode_into(&self, buf: &mut sann_core::buf::ByteWriter) {
+        self.centroids.encode_into(buf);
+        buf.put_u64_le(self.assignments.len() as u64);
+        for &a in &self.assignments {
+            buf.put_u32_le(a);
+        }
+    }
+
+    /// Reads a model previously written by [`KMeansModel::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation or an out-of-range
+    /// assignment.
+    pub fn decode_from(r: &mut sann_core::buf::ByteReader<'_>) -> Result<KMeansModel> {
+        let centroids = Dataset::decode_from(r)?;
+        let n = r.get_u64_le()? as usize;
+        if r.remaining() < n.saturating_mul(4) {
+            return Err(Error::Corrupt("kmeans: truncated assignments".into()));
+        }
+        let k = centroids.len() as u32;
+        let mut assignments = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.get_u32_le()?;
+            if a >= k {
+                return Err(Error::Corrupt("kmeans: assignment out of range".into()));
+            }
+            assignments.push(a);
+        }
+        Ok(KMeansModel {
+            centroids,
+            assignments,
+        })
+    }
 }
 
 fn nearest_centroid(v: &[f32], centroids: &[f32], k: usize, dim: usize) -> u32 {
@@ -348,6 +385,39 @@ mod tests {
         assert_eq!(model.assignments.len(), 400);
         let first = model.assignments[0];
         assert!(model.assignments[..200].iter().all(|&a| a == first));
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exact() {
+        let data = two_blobs(30);
+        let model = KMeans::new(2).with_seed(5).fit(&data).unwrap();
+        let mut w = sann_core::buf::ByteWriter::new();
+        model.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sann_core::buf::ByteReader::new(&bytes, "test");
+        let back = KMeansModel::decode_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.centroids, model.centroids);
+        assert_eq!(back.assignments, model.assignments);
+        let mut w2 = sann_core::buf::ByteWriter::new();
+        back.encode_into(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_bad_assignment() {
+        let data = two_blobs(10);
+        let model = KMeans::new(2).fit(&data).unwrap();
+        let mut w = sann_core::buf::ByteWriter::new();
+        model.encode_into(&mut w);
+        let mut bytes = w.into_bytes();
+        let mut r = sann_core::buf::ByteReader::new(&bytes[..bytes.len() - 2], "test");
+        assert!(KMeansModel::decode_from(&mut r).is_err());
+        // Corrupt the last assignment to an out-of-range cluster id.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&99u32.to_le_bytes());
+        let mut r = sann_core::buf::ByteReader::new(&bytes, "test");
+        assert!(KMeansModel::decode_from(&mut r).is_err());
     }
 
     #[test]

@@ -163,6 +163,48 @@ impl ProductQuantizer {
         v
     }
 
+    /// Appends the canonical little-endian encoding of the trained quantizer
+    /// (shape, then the flattened codebooks) to `buf`.
+    pub fn encode_into(&self, buf: &mut sann_core::buf::ByteWriter) {
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.m as u32);
+        buf.put_u32_le(self.ksub as u32);
+        for &x in &self.codebooks {
+            buf.put_f32_le(x);
+        }
+    }
+
+    /// Reads a quantizer previously written by
+    /// [`ProductQuantizer::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation or an inconsistent shape.
+    pub fn decode_from(r: &mut sann_core::buf::ByteReader<'_>) -> Result<ProductQuantizer> {
+        let dim = r.get_u32_le()? as usize;
+        let m = r.get_u32_le()? as usize;
+        let ksub = r.get_u32_le()? as usize;
+        if m == 0 || dim == 0 || !dim.is_multiple_of(m) || ksub == 0 || ksub > 256 {
+            return Err(Error::Corrupt("pq: inconsistent shape".into()));
+        }
+        let sub_dim = dim / m;
+        let total = m * ksub * sub_dim;
+        if r.remaining() < total * 4 {
+            return Err(Error::Corrupt("pq: truncated codebooks".into()));
+        }
+        let mut codebooks = Vec::with_capacity(total);
+        for _ in 0..total {
+            codebooks.push(r.get_f32_le()?);
+        }
+        Ok(ProductQuantizer {
+            dim,
+            m,
+            ksub,
+            sub_dim,
+            codebooks,
+        })
+    }
+
     /// Builds the ADC lookup table for a query.
     ///
     /// # Panics
@@ -310,6 +352,36 @@ mod tests {
             ProductQuantizer::train(&data, 4, 128, 1).is_err(),
             "too few training rows"
         );
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exact() {
+        let (data, pq) = train_small();
+        let mut w = sann_core::buf::ByteWriter::new();
+        pq.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sann_core::buf::ByteReader::new(&bytes, "test");
+        let back = ProductQuantizer::decode_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        // The decoded quantizer produces identical codes and distances.
+        assert_eq!(back.encode(data.row(0)), pq.encode(data.row(0)));
+        let mut w2 = sann_core::buf::ByteWriter::new();
+        back.encode_into(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let (_, pq) = train_small();
+        let mut w = sann_core::buf::ByteWriter::new();
+        pq.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sann_core::buf::ByteReader::new(&bytes[..bytes.len() - 1], "test");
+        assert!(ProductQuantizer::decode_from(&mut r).is_err());
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&3u32.to_le_bytes()); // m=3 does not divide dim=32
+        let mut r = sann_core::buf::ByteReader::new(&bad, "test");
+        assert!(ProductQuantizer::decode_from(&mut r).is_err());
     }
 
     #[test]

@@ -81,6 +81,43 @@ impl ScalarQuantizer {
             .collect()
     }
 
+    /// Appends the canonical little-endian encoding (per-dimension min and
+    /// scale) to `buf`.
+    pub fn encode_into(&self, buf: &mut sann_core::buf::ByteWriter) {
+        buf.put_u32_le(self.min.len() as u32);
+        for &x in &self.min {
+            buf.put_f32_le(x);
+        }
+        for &x in &self.scale {
+            buf.put_f32_le(x);
+        }
+    }
+
+    /// Reads a quantizer previously written by
+    /// [`ScalarQuantizer::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation or a zero dimension.
+    pub fn decode_from(r: &mut sann_core::buf::ByteReader<'_>) -> Result<ScalarQuantizer> {
+        let dim = r.get_u32_le()? as usize;
+        if dim == 0 {
+            return Err(Error::Corrupt("sq: zero dimension".into()));
+        }
+        if r.remaining() < dim * 8 {
+            return Err(Error::Corrupt("sq: truncated tables".into()));
+        }
+        let mut min = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            min.push(r.get_f32_le()?);
+        }
+        let mut scale = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            scale.push(r.get_f32_le()?);
+        }
+        Ok(ScalarQuantizer { min, scale })
+    }
+
     /// Approximate squared L2 distance between a full-precision query and an
     /// encoded vector (asymmetric: the query is not quantized).
     pub fn distance(&self, query: &[f32], code: &[u8]) -> f32 {
@@ -144,5 +181,20 @@ mod tests {
     fn rejects_empty_training_set() {
         let data = Dataset::with_dim(4);
         assert!(ScalarQuantizer::train(&data).is_err());
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exact() {
+        let data = EmbeddingModel::new(16, 2, 5).generate(80);
+        let sq = ScalarQuantizer::train(&data).unwrap();
+        let mut w = sann_core::buf::ByteWriter::new();
+        sq.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sann_core::buf::ByteReader::new(&bytes, "test");
+        let back = ScalarQuantizer::decode_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, sq);
+        let mut r = sann_core::buf::ByteReader::new(&bytes[..bytes.len() - 3], "test");
+        assert!(ScalarQuantizer::decode_from(&mut r).is_err());
     }
 }

@@ -11,11 +11,22 @@ pub const PAGE_BYTES: u64 = 4096;
 /// The cache answers, per request, which of its pages hit and which must be
 /// fetched from the device; the execution engine only sends misses to the
 /// [`crate::DeviceSim`].
+///
+/// Recency is tracked with two mirrored maps — page → stamp and
+/// stamp → page — so a hit, a miss, and an eviction are each O(log n).
+/// Stamps come from a monotone access clock and are therefore unique, which
+/// makes `by_stamp.first_key_value()` *exactly* the page a full
+/// `min_by_key(stamp)` scan over the old single-map design would have
+/// picked: eviction order is unchanged, only its cost (previously
+/// O(capacity) per miss — quadratic over a GiB-sized cache warm-up, the
+/// configurations Fig. 5 sweeps).
 #[derive(Debug)]
 pub struct PageCache {
     capacity_pages: usize,
     /// page id -> LRU stamp.
     pages: BTreeMap<u64, u64>,
+    /// LRU stamp -> page id (mirror of `pages`; smallest stamp = LRU victim).
+    by_stamp: BTreeMap<u64, u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -29,6 +40,7 @@ impl PageCache {
         PageCache {
             capacity_pages: (capacity_bytes / PAGE_BYTES) as usize,
             pages: BTreeMap::new(),
+            by_stamp: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -52,18 +64,21 @@ impl PageCache {
                 continue;
             }
             if let Some(stamp) = self.pages.get_mut(&page) {
+                self.by_stamp.remove(stamp);
                 *stamp = self.clock;
+                self.by_stamp.insert(self.clock, page);
                 self.hits += 1;
             } else {
                 self.misses += 1;
                 missed += 1;
                 if self.pages.len() >= self.capacity_pages {
-                    // Evict the least recently used page.
-                    if let Some((&victim, _)) = self.pages.iter().min_by_key(|(_, &s)| s) {
+                    // Evict the least recently used page: the smallest stamp.
+                    if let Some((_, victim)) = self.by_stamp.pop_first() {
                         self.pages.remove(&victim);
                     }
                 }
                 self.pages.insert(page, self.clock);
+                self.by_stamp.insert(self.clock, page);
             }
         }
         missed
@@ -93,12 +108,14 @@ impl PageCache {
     /// `echo 1 > /proc/sys/vm/drop_caches` between runs. Counters survive.
     pub fn drop_caches(&mut self) {
         self.pages.clear();
+        self.by_stamp.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sann_core::rng::SplitMix64;
 
     #[test]
     fn first_access_misses_second_hits() {
@@ -151,5 +168,125 @@ mod tests {
         let mut c = PageCache::new(1 << 20);
         assert_eq!(c.access(123, 0), 0);
         assert_eq!(c.hits() + c.misses(), 0);
+    }
+
+    /// The pre-fix eviction policy, verbatim: a full `min_by_key` scan over
+    /// the page → stamp map. Used as the behavioural reference.
+    struct ScanLru {
+        capacity_pages: usize,
+        pages: BTreeMap<u64, u64>,
+        clock: u64,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl ScanLru {
+        fn new(capacity_bytes: u64) -> ScanLru {
+            ScanLru {
+                capacity_pages: (capacity_bytes / PAGE_BYTES) as usize,
+                pages: BTreeMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        fn access(&mut self, offset: u64, len: u32) -> u64 {
+            if len == 0 {
+                return 0;
+            }
+            let first = offset / PAGE_BYTES;
+            let last = (offset + len as u64 - 1) / PAGE_BYTES;
+            let mut missed = 0;
+            for page in first..=last {
+                self.clock += 1;
+                if self.capacity_pages == 0 {
+                    self.misses += 1;
+                    missed += 1;
+                    continue;
+                }
+                if let Some(stamp) = self.pages.get_mut(&page) {
+                    *stamp = self.clock;
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                    missed += 1;
+                    if self.pages.len() >= self.capacity_pages {
+                        if let Some((&victim, _)) = self.pages.iter().min_by_key(|(_, &s)| s) {
+                            self.pages.remove(&victim);
+                        }
+                    }
+                    self.pages.insert(page, self.clock);
+                }
+            }
+            missed
+        }
+    }
+
+    /// Every access returns the same miss count, and the cached page set is
+    /// identical after every step — i.e. the two-map design evicts in
+    /// exactly the order the O(capacity) scan did.
+    #[test]
+    fn eviction_order_matches_the_old_scan() {
+        let mut rng = SplitMix64::new(0x9A6E);
+        for capacity_pages in [1u64, 2, 3, 7, 16] {
+            let mut fast = PageCache::new(capacity_pages * PAGE_BYTES);
+            let mut slow = ScanLru::new(capacity_pages * PAGE_BYTES);
+            for _ in 0..4_000 {
+                let page = rng.next_bounded(40);
+                let span_pages = 1 + rng.next_bounded(3) as u32;
+                let offset = page * PAGE_BYTES + rng.next_bounded(PAGE_BYTES);
+                let len = span_pages * PAGE_BYTES as u32;
+                assert_eq!(
+                    fast.access(offset, len),
+                    slow.access(offset, len),
+                    "miss count diverged at capacity {capacity_pages}"
+                );
+                assert_eq!(
+                    fast.pages, slow.pages,
+                    "cached set diverged at capacity {capacity_pages}"
+                );
+            }
+            assert_eq!(fast.hits(), slow.hits);
+            assert_eq!(fast.misses(), slow.misses);
+        }
+    }
+
+    /// Regression for the quadratic eviction scan: a GiB-class cache kept at
+    /// full occupancy under miss pressure. With the old O(capacity)
+    /// `min_by_key` eviction this workload costs ~capacity × misses
+    /// (≈ 3.4 × 10^10 comparisons) and does not finish in test time; with
+    /// O(log n) eviction it is a few hundred thousand map operations.
+    #[test]
+    fn large_cache_under_miss_pressure_is_not_quadratic() {
+        let capacity_pages: u64 = 262_144; // 1 GiB of 4 KiB pages
+        let mut c = PageCache::new(capacity_pages * PAGE_BYTES);
+        // Fill to capacity, then force `extra` evictions with fresh pages.
+        let extra = 131_072u64;
+        for page in 0..capacity_pages + extra {
+            assert_eq!(c.access(page * PAGE_BYTES, PAGE_BYTES as u32), 1);
+        }
+        assert_eq!(c.len() as u64, capacity_pages, "cache stays at capacity");
+        assert_eq!(c.misses(), capacity_pages + extra);
+        assert_eq!(c.hits(), 0);
+        // The survivors are exactly the most recent `capacity_pages` pages.
+        assert_eq!(c.access(extra * PAGE_BYTES, PAGE_BYTES as u32), 0);
+        assert_eq!(c.access((extra - 1) * PAGE_BYTES, PAGE_BYTES as u32), 1);
+    }
+
+    /// The two maps stay perfect mirrors of each other across a mixed
+    /// hit/miss/evict workload.
+    #[test]
+    fn stamp_mirror_stays_consistent() {
+        let mut rng = SplitMix64::new(77);
+        let mut c = PageCache::new(8 * PAGE_BYTES);
+        for _ in 0..2_000 {
+            c.access(rng.next_bounded(20) * PAGE_BYTES, PAGE_BYTES as u32);
+            assert_eq!(c.pages.len(), c.by_stamp.len());
+            assert!(c.pages.len() <= 8);
+            for (page, stamp) in &c.pages {
+                assert_eq!(c.by_stamp.get(stamp), Some(page));
+            }
+        }
     }
 }

@@ -175,6 +175,11 @@ impl Setup {
                     ..IvfConfig::default()
                 },
             )?),
+            // Graph builds run single-threaded: multi-threaded insertion
+            // orders race, and byte-identical artifacts across runs (and
+            // across prep-thread counts) are what make the artifact cache
+            // and the determinism audit sound. Parallelism is recovered one
+            // level up, across whole (dataset × index) builds.
             SetupKind::MilvusHnsw | SetupKind::QdrantHnsw | SetupKind::WeaviateHnsw => {
                 Box::new(HnswIndex::build(
                     base,
@@ -183,7 +188,7 @@ impl Setup {
                         m: p.m,
                         ef_construction: p.ef_construction,
                         seed: self.seed,
-                        threads: 0,
+                        threads: 1,
                     },
                 )?)
             }
@@ -196,7 +201,7 @@ impl Setup {
                     m: p.m,
                     ef_construction: p.ef_construction,
                     seed: self.seed,
-                    threads: 0,
+                    threads: 1,
                 },
             )?),
             SetupKind::MilvusDiskann => Box::new(DiskAnnIndex::build(
@@ -206,6 +211,7 @@ impl Setup {
                     graph: VamanaConfig {
                         r: p.r,
                         seed: self.seed,
+                        threads: 1,
                         ..VamanaConfig::default()
                     },
                     ..DiskAnnConfig::default()
@@ -472,5 +478,21 @@ mod tests {
     fn nlist_follows_faiss_rule() {
         let p = TunedParams::for_dataset(1_000_000);
         assert_eq!(p.nlist, 4_000);
+    }
+
+    #[test]
+    fn build_index_is_deterministic_and_persistable() {
+        // Every setup's index must build byte-identically run over run —
+        // the invariant the artifact cache and determinism audit rest on.
+        let model = EmbeddingModel::new(16, 4, 321);
+        let base = model.generate(600);
+        for kind in SetupKind::all() {
+            let setup = Setup::new(kind, base.len());
+            let a = setup.build_index(&base, Metric::L2).unwrap();
+            let b = setup.build_index(&base, Metric::L2).unwrap();
+            let (ab, bb) = (a.persist_encode(), b.persist_encode());
+            assert!(ab.is_some(), "{kind} must be persistable");
+            assert_eq!(ab, bb, "{kind} build is not deterministic");
+        }
     }
 }

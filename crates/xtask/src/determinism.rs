@@ -16,6 +16,12 @@
 //! canonical encoding. Exported traces are part of the determinism
 //! contract — a timeline that changes between identical-seed runs is as
 //! much a bug as a drifting QPS number.
+//!
+//! Finally the audit sweeps twice more with the persistent artifact cache
+//! enabled against a scratch directory — once cold (populating it) and once
+//! warm (replaying prep from disk) — and demands both match the uncached
+//! baseline byte for byte. A cache that changes any simulated number is a
+//! correctness bug, not an optimization.
 
 use sann_bench::BenchContext;
 use sann_engine::RunMetrics;
@@ -52,24 +58,47 @@ struct Cell {
 /// Returns a description of the first trace-invariant violation or metric
 /// byte-divergence found.
 pub fn run() -> Result<String, String> {
-    let first = sweep()?;
-    let second = sweep()?;
-    if first.len() != second.len() {
+    let first = sweep(None)?;
+    let second = sweep(None)?;
+    let mut audited = compare_passes("second run", &first, &second)?;
+    // Artifact-cache invariance: a cold cached pass (populating a scratch
+    // directory) and a warm pass (replaying prep from it) must both match
+    // the uncached baseline exactly.
+    let cache_dir =
+        std::env::temp_dir().join(format!("sann-determinism-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cold = sweep(Some(&cache_dir))?;
+    let warm = sweep(Some(&cache_dir))?;
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    audited += compare_passes("cache-cold run", &first, &cold)?;
+    audited += compare_passes("cache-warm run", &first, &warm)?;
+    Ok(format!(
+        "determinism: PASS — {} cells byte-identical across two seeded runs plus cold/warm artifact-cache replays ({audited} metric bytes compared)",
+        first.len()
+    ))
+}
+
+/// Byte-diffs one pass against the baseline; returns bytes compared.
+fn compare_passes(what: &str, baseline: &[Cell], pass: &[Cell]) -> Result<usize, String> {
+    if baseline.len() != pass.len() {
         return Err(format!(
-            "sweep shape diverged: {} cells vs {}",
-            first.len(),
-            second.len()
+            "sweep shape diverged on {what}: {} cells vs {}",
+            baseline.len(),
+            pass.len()
         ));
     }
     let mut audited = 0usize;
-    for (a, b) in first.iter().zip(&second) {
+    for (a, b) in baseline.iter().zip(pass) {
         if a.label != b.label {
-            return Err(format!("cell order diverged: {} vs {}", a.label, b.label));
+            return Err(format!(
+                "cell order diverged on {what}: {} vs {}",
+                a.label, b.label
+            ));
         }
         if a.bytes != b.bytes {
             let byte = a.bytes.iter().zip(&b.bytes).position(|(x, y)| x != y);
             return Err(format!(
-                "metrics diverged at {}: first difference at byte {:?} of {}",
+                "metrics diverged on {what} at {}: first difference at byte {:?} of {}",
                 a.label,
                 byte,
                 a.bytes.len()
@@ -77,17 +106,18 @@ pub fn run() -> Result<String, String> {
         }
         audited += a.bytes.len();
     }
-    Ok(format!(
-        "determinism: PASS — {} cells byte-identical across two seeded runs ({audited} metric bytes compared)",
-        first.len()
-    ))
+    Ok(audited)
 }
 
 /// One full pass: fresh context, validated traces, canonical metrics.
-fn sweep() -> Result<Vec<Cell>, String> {
+/// `cache_dir` enables the persistent artifact cache for the pass.
+fn sweep(cache_dir: Option<&std::path::Path>) -> Result<Vec<Cell>, String> {
     let mut ctx = BenchContext::new(SCALE);
     ctx.only_dataset = Some(DATASET.to_string());
     ctx.duration_us = DURATION_US;
+    if let Some(dir) = cache_dir {
+        ctx.enable_cache(dir);
+    }
     let spec = ctx
         .dataset_specs()
         .into_iter()

@@ -19,4 +19,19 @@ cargo test -q --workspace
 echo "==> trace exporter golden files"
 cargo test -q -p sann-engine --test trace_golden
 
+echo "==> vdbbench cold/warm artifact-cache invariance"
+cargo build -q --release -p sann-bench
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+bin="target/release/vdbbench"
+"$bin" --cache-dir "$tmp/cache" --results "$tmp/cold" table2 >"$tmp/cold.out" 2>"$tmp/cold.err"
+"$bin" --cache-dir "$tmp/cache" --results "$tmp/warm" table2 >"$tmp/warm.out" 2>"$tmp/warm.err"
+diff -r "$tmp/cold" "$tmp/warm"
+diff "$tmp/cold.out" "$tmp/warm.out"
+if grep -E '^\[prep\]' "$tmp/warm.err"; then
+    echo "FAIL: warm table2 run still did prep work (lines above)"
+    exit 1
+fi
+echo "warm table2 replayed from cache: identical CSVs, zero [prep] lines"
+
 echo "All checks passed."
