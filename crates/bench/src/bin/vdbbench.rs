@@ -79,9 +79,10 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
             println!("{}", ext_spann::run(&mut ctx)?);
         }
         "help" | "--help" | "-h" => {
-            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--cache-dir DIR] [--no-cache] [--prep-threads N] [--trace-out PATH] [--trace-level off|run|query|io] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|all>");
+            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--cache-dir DIR] [--no-cache] [--prep-threads N] [--trace-out PATH] [--trace-level off|run|query|io] [--fault-profile none|aging|gc-heavy|flaky] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|all>");
             println!("  trace [--setup NAME] [--clients N]   export one traced run (Perfetto trace.json + JSONL) with a latency breakdown");
             println!("  prep artifacts (datasets, index builds, tuned knobs) persist under --cache-dir (default .sann-cache); warm runs skip prep entirely");
+            println!("  --fault-profile injects deterministic SSD faults (read errors, latency spikes, GC pauses, throttling); each database reacts with its own retry/hedge/deadline policy and reports degraded-recall accounting");
             return Ok(());
         }
         other => {

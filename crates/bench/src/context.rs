@@ -23,7 +23,7 @@ use crate::cache::{self, ArtifactCache, CacheStats};
 use sann_core::buf::{ByteReader, ByteWriter};
 use sann_core::{Error, Metric, Result};
 use sann_datagen::{catalog, DatasetSpec, GroundTruth};
-use sann_engine::{Executor, QueryPlan, RunConfig, RunMetrics, TracedRun};
+use sann_engine::{Executor, FaultProfile, QueryPlan, RunConfig, RunMetrics, TracedRun};
 use sann_index::VectorIndex;
 use sann_obs::TraceLevel;
 use sann_vdb::{Setup, SetupKind};
@@ -88,6 +88,12 @@ pub struct BenchContext {
     pub trace_out: Option<std::path::PathBuf>,
     /// Span-tracing verbosity (`--trace-level {off,run,query,io}`).
     pub trace_level: TraceLevel,
+    /// Injected SSD fault profile (`--fault-profile
+    /// {none,aging,gc-heavy,flaky}`). Each setup reacts with its own
+    /// database's retry/hedge/deadline policy
+    /// ([`sann_vdb::DbProfile::fault_config`]); `none` (the default) keeps
+    /// every run byte-identical to a fault-free build.
+    pub fault_profile: FaultProfile,
     /// Worker threads for cold-path prep builds ([`BenchContext::prefetch`]).
     /// Artifacts are byte-identical at any value; this only changes wall
     /// clock.
@@ -114,6 +120,7 @@ impl BenchContext {
             results_dir: std::path::PathBuf::from("results"),
             trace_out: None,
             trace_level: TraceLevel::Off,
+            fault_profile: FaultProfile::none(),
             prep_threads: 1,
             disk: None,
             datasets: BTreeMap::new(),
@@ -127,8 +134,9 @@ impl BenchContext {
     /// Parses harness flags (`--scale X`, `--cores N`, `--duration-secs S`,
     /// `--dataset NAME`, `--results DIR`, `--cache-dir DIR`, `--no-cache`,
     /// `--prep-threads N`, `--trace-out PATH`,
-    /// `--trace-level {off,run,query,io}`). Unrecognized flags are returned
-    /// for the caller (subcommand) to interpret.
+    /// `--trace-level {off,run,query,io}`,
+    /// `--fault-profile {none,aging,gc-heavy,flaky}`). Unrecognized flags
+    /// are returned for the caller (subcommand) to interpret.
     ///
     /// The artifact cache defaults to `.sann-cache`; `--no-cache` disables it
     /// and `--cache-dir` moves it (last flag wins). `--prep-threads` defaults
@@ -185,6 +193,18 @@ impl BenchContext {
                         sann_core::Error::invalid_parameter(
                             "args",
                             format!("bad value for --trace-level: `{value}` (off|run|query|io)"),
+                        )
+                    })?;
+                }
+                "--fault-profile" => {
+                    let value = take("--fault-profile")?;
+                    ctx.fault_profile = FaultProfile::parse(&value).ok_or_else(|| {
+                        sann_core::Error::invalid_parameter(
+                            "args",
+                            format!(
+                                "bad value for --fault-profile: `{value}` \
+                                 (none|aging|gc-heavy|flaky)"
+                            ),
                         )
                     })?;
                 }
@@ -564,6 +584,7 @@ impl BenchContext {
             duration_us: self.duration_us,
             max_concurrent: profile.max_concurrent,
             cache_bytes: profile.cache_bytes,
+            faults: profile.fault_config(self.fault_profile),
             ..RunConfig::default()
         };
         Some(Executor::new(config).run(plans))
@@ -589,6 +610,7 @@ impl BenchContext {
             duration_us: self.duration_us,
             max_concurrent: profile.max_concurrent,
             cache_bytes: profile.cache_bytes,
+            faults: profile.fault_config(self.fault_profile),
             ..RunConfig::default()
         };
         Some(Executor::new(config).run_traced(plans, level))
@@ -805,6 +827,50 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(BenchContext::from_args(&bad).is_err());
+    }
+
+    #[test]
+    fn parses_fault_profile_flag() {
+        let args: Vec<String> = ["--fault-profile", "gc-heavy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (ctx, rest) = BenchContext::from_args(&args).unwrap();
+        assert_eq!(ctx.fault_profile, FaultProfile::gc_heavy());
+        assert!(rest.is_empty());
+        let bad: Vec<String> = ["--fault-profile", "catastrophic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(BenchContext::from_args(&bad).is_err());
+        let (ctx, _) = BenchContext::from_args(&[]).unwrap();
+        assert_eq!(ctx.fault_profile, FaultProfile::none(), "defaults clean");
+    }
+
+    #[test]
+    fn fault_profile_reaches_the_executor() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.2e6;
+        ctx.fault_profile = FaultProfile::flaky();
+        let spec = ctx.dataset_specs().remove(0);
+        let m = ctx
+            .run_tuned(&spec, SetupKind::MilvusDiskann, 4)
+            .unwrap()
+            .unwrap();
+        let f = &m.fault;
+        assert!(f.ios_planned > 0, "flaky run must account planned reads");
+        assert_eq!(f.ios_planned, f.ios_completed + f.ios_abandoned);
+        // Determinism: the same context settings replay byte-identically.
+        let mut again = BenchContext::new(0.001);
+        again.only_dataset = Some("cohere-s".into());
+        again.duration_us = 0.2e6;
+        again.fault_profile = FaultProfile::flaky();
+        let n = again
+            .run_tuned(&spec, SetupKind::MilvusDiskann, 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.canonical_bytes(), n.canonical_bytes());
     }
 
     #[test]

@@ -43,12 +43,27 @@ pub fn run_fig5(ctx: &mut BenchContext) -> Result<String> {
         String::from("Figure 5: read bandwidth (MiB/s) of milvus-diskann during search\n");
     let mut csv = Table::new(["dataset", "concurrency", "second", "mib_per_s"]);
     let mut summary = Table::new(["dataset", "concurrency", "mean", "min", "max"]);
+    let mut faults = Table::new([
+        "dataset", "conc", "errors", "retries", "hedges", "skips", "served",
+    ]);
     for spec in ctx.dataset_specs() {
         let plateau = plateau_concurrency(ctx, &spec)?;
         for (label, concurrency) in [("1", 1usize), ("plateau", plateau), ("256", 256usize)] {
             let m = ctx
                 .run_tuned(&spec, SetupKind::MilvusDiskann, concurrency)?
                 .expect("milvus has no client limit");
+            if ctx.fault_profile.active() {
+                let f = &m.fault;
+                faults.row([
+                    spec.name.clone(),
+                    concurrency.to_string(),
+                    f.injected_errors.to_string(),
+                    f.retries.to_string(),
+                    f.hedges_issued.to_string(),
+                    f.deadline_skips.to_string(),
+                    format!("{:.4}", f.served_fraction()),
+                ]);
+            }
             let series = &m.bandwidth_timeline_mib;
             for (sec, &bw) in series.iter().enumerate() {
                 csv.row([
@@ -79,6 +94,14 @@ pub fn run_fig5(ctx: &mut BenchContext) -> Result<String> {
     ctx.write_csv("fig5.csv", &csv.to_csv())?;
     out.push_str("(steady-state over the run; full per-second series in results/fig5.csv)\n");
     out.push_str(&summary.to_text());
+    if ctx.fault_profile.active() {
+        ctx.write_csv("fig5_faults.csv", &faults.to_csv())?;
+        out.push_str(&format!(
+            "Fault ledger under profile `{}` (injected errors, host reactions, served I/O fraction):\n",
+            ctx.fault_profile.name
+        ));
+        out.push_str(&faults.to_text());
+    }
     Ok(out)
 }
 
@@ -128,6 +151,27 @@ pub fn run_fig6(ctx: &mut BenchContext) -> Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig5_fault_ledger_appears_only_under_a_profile() {
+        let mut clean = BenchContext::new(0.001);
+        clean.only_dataset = Some("cohere-s".into());
+        clean.duration_us = 0.2e6;
+        clean.results_dir = std::env::temp_dir().join("sann-fig5-clean-test");
+        let text = run_fig5(&mut clean).unwrap();
+        assert!(!text.contains("Fault ledger"), "none profile stays silent");
+        std::fs::remove_dir_all(&clean.results_dir).ok();
+
+        let mut faulty = BenchContext::new(0.001);
+        faulty.only_dataset = Some("cohere-s".into());
+        faulty.duration_us = 0.2e6;
+        faulty.fault_profile = sann_engine::FaultProfile::gc_heavy();
+        faulty.results_dir = std::env::temp_dir().join("sann-fig5-fault-test");
+        let text = run_fig5(&mut faulty).unwrap();
+        assert!(text.contains("Fault ledger under profile `gc-heavy`"));
+        assert!(faulty.results_dir.join("fig5_faults.csv").exists());
+        std::fs::remove_dir_all(&faulty.results_dir).ok();
+    }
 
     #[test]
     fn fig6_reports_4k_dominance() {

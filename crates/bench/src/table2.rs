@@ -81,7 +81,43 @@ pub fn run(ctx: &mut BenchContext) -> Result<String> {
         "(k = {K}, target recall >= 0.9; LanceDB-IVF's nprobe ladder is capped as in the paper)\n"
     ));
     out.push_str(&table.to_text());
+    if ctx.fault_profile.active() {
+        out.push_str(&degraded_recall_section(ctx, &kinds)?);
+    }
     Ok(out)
+}
+
+/// Degraded-recall addendum for `--fault-profile`: one engine run per setup
+/// measures the fraction of planned reads actually served, and the honest
+/// recall bound is `recall × served_fraction` (abandoned reads can only
+/// remove true neighbors from the candidate set).
+fn degraded_recall_section(ctx: &mut BenchContext, kinds: &[SetupKind]) -> Result<String> {
+    const FAULT_CONCURRENCY: usize = 8;
+    let profile = ctx.fault_profile;
+    let mut table = Table::new(["dataset", "index", "recall@10", "served", "degraded@10"]);
+    for spec in ctx.dataset_specs() {
+        for &kind in kinds {
+            let healthy = ctx.setup(&spec, kind)?.recall;
+            let Some(m) = ctx.run_tuned(&spec, kind, FAULT_CONCURRENCY)? else {
+                continue;
+            };
+            let f = &m.fault;
+            table.row([
+                spec.name.clone(),
+                kind.name().to_owned(),
+                format!("{healthy:.3}"),
+                format!("{:.3}", f.served_fraction()),
+                format!("{:.3}", f.degraded_recall(healthy)),
+            ]);
+        }
+    }
+    ctx.write_csv("table2_faults.csv", &table.to_csv())?;
+    Ok(format!(
+        "Degraded recall under fault profile `{}` (concurrency {FAULT_CONCURRENCY}):\n\
+         (degraded@10 = recall@10 x served I/O fraction - a bound, not a re-measurement)\n{}",
+        profile.name,
+        table.to_text()
+    ))
 }
 
 #[cfg(test)]
@@ -97,6 +133,24 @@ mod tests {
         assert!(text.contains("milvus-ivf"));
         assert!(text.contains("milvus-diskann"));
         assert!(text.contains("lancedb-ivf"));
+        assert!(
+            !text.contains("Degraded recall"),
+            "no fault addendum without a fault profile"
+        );
+        std::fs::remove_dir_all(&ctx.results_dir).ok();
+    }
+
+    #[test]
+    fn fault_profile_adds_degraded_recall_addendum() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.2e6;
+        ctx.fault_profile = sann_engine::FaultProfile::flaky();
+        ctx.results_dir = std::env::temp_dir().join("sann-table2-fault-test");
+        let text = run(&mut ctx).unwrap();
+        assert!(text.contains("Degraded recall under fault profile `flaky`"));
+        assert!(text.contains("degraded@10"));
+        assert!(ctx.results_dir.join("table2_faults.csv").exists());
         std::fs::remove_dir_all(&ctx.results_dir).ok();
     }
 }

@@ -69,7 +69,11 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 pub struct Accumulator {
     count: u64,
     sum: f64,
-    sum_sq: f64,
+    // Welford running mean and sum of squared deviations: a naive
+    // sum-of-squares cancels catastrophically on near-constant samples
+    // (e.g. an all-equal latency series reported a non-zero stddev).
+    mean: f64,
+    m2: f64,
     min: f64,
     max: f64,
 }
@@ -80,7 +84,8 @@ impl Accumulator {
         Accumulator {
             count: 0,
             sum: 0.0,
-            sum_sq: 0.0,
+            mean: 0.0,
+            m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -90,7 +95,9 @@ impl Accumulator {
     pub fn add(&mut self, x: f64) {
         self.count += 1;
         self.sum += x;
-        self.sum_sq += x * x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -107,11 +114,7 @@ impl Accumulator {
 
     /// Mean of samples; `0.0` when empty.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
+        self.mean
     }
 
     /// Population standard deviation; `0.0` for fewer than two samples.
@@ -119,8 +122,7 @@ impl Accumulator {
         if self.count < 2 {
             return 0.0;
         }
-        let m = self.mean();
-        (self.sum_sq / self.count as f64 - m * m).max(0.0).sqrt()
+        (self.m2 / self.count as f64).max(0.0).sqrt()
     }
 
     /// Smallest sample; `0.0` when empty.
@@ -234,5 +236,55 @@ mod tests {
         }
         assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
         assert!((acc.stddev() - stddev(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_all_equal_samples_have_exactly_zero_stddev() {
+        // The former sum-of-squares formulation reported a spurious
+        // non-zero spread here once the values were large enough for
+        // `sum_sq/n - mean²` to cancel; Welford is exact.
+        for v in [0.0, 1.0, 1e9 + 0.1, -7.25e12] {
+            let mut acc = Accumulator::new();
+            for _ in 0..1_000 {
+                acc.add(v);
+            }
+            assert_eq!(acc.stddev(), 0.0, "all-equal samples at {v}");
+            assert_eq!(acc.min(), v);
+            assert_eq!(acc.max(), v);
+            assert!((acc.mean() - v).abs() <= v.abs() * 1e-15);
+        }
+    }
+
+    #[test]
+    fn accumulator_single_sample_is_degenerate_but_sane() {
+        let mut acc = Accumulator::new();
+        acc.add(123.456);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.mean(), 123.456);
+        assert_eq!(acc.stddev(), 0.0);
+        assert_eq!(acc.min(), 123.456);
+        assert_eq!(acc.max(), 123.456);
+        assert_eq!(acc.sum(), 123.456);
+    }
+
+    #[test]
+    fn accumulator_survives_large_offset_small_variance() {
+        // Samples with a huge common offset and a tiny spread: the naive
+        // sum_sq accumulator loses all significant digits here, while the
+        // batch two-pass formula (and Welford) keep them.
+        let offset = 1e9;
+        let xs: Vec<f64> = (0..100).map(|i| offset + (i % 4) as f64).collect();
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let expected = stddev(&xs);
+        assert!(expected > 1.0, "sanity: the spread is ~1.1, not zero");
+        assert!(
+            (acc.stddev() - expected).abs() < 1e-6,
+            "streaming stddev {} diverged from batch {}",
+            acc.stddev(),
+            expected
+        );
     }
 }

@@ -1,12 +1,15 @@
 //! The discrete-event executor.
 
-use crate::metrics::RunMetrics;
+use crate::metrics::{FaultStats, RunMetrics};
 use crate::plan::{QueryPlan, Segment};
+use sann_index::IoReq;
 use sann_obs::{
-    IoSpan, LogHistogram, Phase as ObsPhase, Registry, SpanId, SpanName, Trace, TraceLevel,
-    TraceSink, Tracer,
+    IoOutcome, IoSpan, LogHistogram, Phase as ObsPhase, Registry, SpanId, SpanName, Trace,
+    TraceLevel, TraceSink, Tracer,
 };
-use sann_ssdsim::{DeviceSim, IoTracer, PageCache, SsdModel, NO_OWNER};
+use sann_ssdsim::{
+    DeviceSim, FaultInjector, FaultProfile, IoTracer, PageCache, SsdModel, HEDGE_TAG, NO_OWNER,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -38,6 +41,68 @@ pub(crate) fn us_to_ns_ceil(us: f64) -> u64 {
     (us * NS_PER_US).ceil() as u64
 }
 
+/// Engine-side retry policy for reads that fail with an injected
+/// transient error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, µs.
+    pub backoff_us: f64,
+    /// Multiplier applied to the backoff for each subsequent retry.
+    pub backoff_mult: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_us: 50.0,
+            backoff_mult: 2.0,
+        }
+    }
+}
+
+/// Seed of the fault stream when none is supplied (decorrelated from the
+/// data/tuning seeds by construction — the injector folds it further).
+pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_FA17;
+
+/// Fault-injection plus resilience configuration of one run.
+///
+/// Under the `none` profile the executor keeps its fault-free fast path —
+/// no RNG draws, no extra events — so output is byte-identical to a build
+/// without the fault layer, whatever the retry/hedge/deadline settings say.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// The device-misbehavior envelope to inject.
+    pub profile: FaultProfile,
+    /// Seed of the fault RNG stream.
+    pub seed: u64,
+    /// Retry-with-backoff policy for failed reads.
+    pub retry: RetryPolicy,
+    /// Per-query IO deadline, µs (0 = none). Once a query's deadline
+    /// passes, unresolved reads are abandoned instead of retried and
+    /// still-unissued beams are skipped: the query returns a partial
+    /// top-k, accounted in [`FaultStats`].
+    pub io_deadline_us: f64,
+    /// Hedge a read with a duplicate attempt if it has not resolved after
+    /// this many µs (0 = no hedging). The race's loser is cancelled
+    /// exactly once, at resolution.
+    pub hedge_after_us: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            profile: FaultProfile::none(),
+            seed: DEFAULT_FAULT_SEED,
+            retry: RetryPolicy::default(),
+            io_deadline_us: 0.0,
+            hedge_after_us: 0.0,
+        }
+    }
+}
+
 /// Configuration of one simulated measurement run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
@@ -55,6 +120,8 @@ pub struct RunConfig {
     pub ssd: SsdModel,
     /// OS page-cache capacity in bytes (0 = direct I/O, the DiskANN mode).
     pub cache_bytes: u64,
+    /// Fault injection and resilience (default: healthy device).
+    pub faults: FaultConfig,
 }
 
 impl Default for RunConfig {
@@ -66,6 +133,7 @@ impl Default for RunConfig {
             max_concurrent: 0,
             ssd: SsdModel::samsung_990_pro(),
             cache_bytes: 0,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -78,6 +146,33 @@ enum EventKind {
     Io { query: usize },
     /// A core-free delay elapsed.
     Delay { query: usize },
+    /// Fault mode: one read attempt reached its device completion time.
+    /// `uid`/`beam` guard against the slot having been reused or the
+    /// query having moved on (stale events are dropped silently).
+    FaultIo {
+        query: usize,
+        uid: u64,
+        beam: u32,
+        req: u16,
+        attempt: u8,
+        hedged: bool,
+        failed: bool,
+        start_ns: u64,
+    },
+    /// Fault mode: a retry backoff elapsed.
+    FaultRetry {
+        query: usize,
+        uid: u64,
+        beam: u32,
+        req: u16,
+    },
+    /// Fault mode: a hedge timer fired.
+    FaultHedge {
+        query: usize,
+        uid: u64,
+        beam: u32,
+        req: u16,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +183,29 @@ enum Phase {
     IoSubmit,
     /// Blocked waiting for the current beam.
     IoWait,
+}
+
+/// Per-read state of the current beam (fault mode only). A read is
+/// *settled* once it is either resolved (data arrived, possibly after
+/// retries/hedging) or abandoned (retry budget or deadline exhausted);
+/// the beam completes when every read settles.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReqState {
+    offset: u64,
+    len: u32,
+    /// Attempts started so far (primary + retries + hedges); also the
+    /// next attempt's ordinal, which keys the injector's RNG stream.
+    attempts: u8,
+    /// Non-hedged attempts started (what the retry budget counts).
+    tries: u8,
+    /// In-flight attempts: (ordinal, hedged, start_ns). At most two — one
+    /// primary-or-retry plus one hedge.
+    flight: [(u8, bool, u64); 2],
+    inflight: u8,
+    resolved: bool,
+    abandoned: bool,
+    /// A retry backoff event is scheduled (nothing in flight meanwhile).
+    retry_pending: bool,
 }
 
 #[derive(Debug)]
@@ -112,6 +230,14 @@ struct ActiveQuery {
     attr_since_ns: u64,
     /// Nanoseconds billed to each phase so far.
     phase_ns: [u64; ObsPhase::COUNT],
+    /// Fault mode: absolute IO deadline (`u64::MAX` when none).
+    deadline_ns: u64,
+    /// Fault mode: at least one planned read was abandoned.
+    degraded: bool,
+    /// Fault mode: read-beam ordinal; guards stale fault events.
+    beam_seq: u32,
+    /// Fault mode: per-read state of the current beam (empty otherwise).
+    reqs_state: Vec<ReqState>,
 }
 
 /// Runs query plans to produce [`RunMetrics`].
@@ -220,6 +346,11 @@ struct Simulation<'a> {
     admission_waits: u64,
     queue_wait_hist: LogHistogram,
     beam_width_hist: LogHistogram,
+    /// Fault injection: `Some` iff the configured profile is active. The
+    /// `None` case keeps the pre-fault fast path byte-identical.
+    injector: Option<FaultInjector>,
+    /// Fault/resilience counters (stay all-zero without an injector).
+    fstats: FaultStats,
 }
 
 impl<'a> Simulation<'a> {
@@ -281,6 +412,16 @@ impl<'a> Simulation<'a> {
             admission_waits: 0,
             queue_wait_hist: LogHistogram::new(),
             beam_width_hist: LogHistogram::new(),
+            injector: if config.faults.profile.active() {
+                Some(FaultInjector::new(
+                    config.faults.profile,
+                    config.faults.seed,
+                    config.ssd.base_latency_us,
+                ))
+            } else {
+                None
+            },
+            fstats: FaultStats::default(),
         }
     }
 
@@ -316,6 +457,40 @@ impl<'a> Simulation<'a> {
                     self.queries[query].seg += 1;
                     self.advance(query, t);
                 }
+                EventKind::FaultIo {
+                    query,
+                    uid,
+                    beam,
+                    req,
+                    attempt,
+                    hedged,
+                    failed,
+                    start_ns,
+                } => {
+                    self.on_fault_io(
+                        query,
+                        uid,
+                        beam,
+                        req as usize,
+                        attempt,
+                        hedged,
+                        failed,
+                        start_ns,
+                        t,
+                    );
+                }
+                EventKind::FaultRetry {
+                    query,
+                    uid,
+                    beam,
+                    req,
+                } => self.on_fault_retry(query, uid, beam, req as usize, t),
+                EventKind::FaultHedge {
+                    query,
+                    uid,
+                    beam,
+                    req,
+                } => self.on_fault_hedge(query, uid, beam, req as usize, t),
             }
             self.dispatch(t);
         }
@@ -365,6 +540,49 @@ impl<'a> Simulation<'a> {
         self.registry
             .hist_merge("engine.beam_width", &self.beam_width_hist);
 
+        if self.injector.is_some() {
+            // Fault conservation audit: every planned read of every
+            // activated query must have been settled exactly once — served
+            // (device or cache) or honestly abandoned. A mismatch means a
+            // retry/hedge path dropped or double-counted a read, which
+            // would corrupt the degraded-recall accounting.
+            assert_eq!(
+                self.fstats.ios_planned,
+                self.fstats.ios_completed + self.fstats.ios_abandoned,
+                "fault conservation violated: {} planned reads vs {} completed + {} abandoned",
+                self.fstats.ios_planned,
+                self.fstats.ios_completed,
+                self.fstats.ios_abandoned
+            );
+            // Flushed only under an active profile so fault-free runs keep
+            // their registry (and its exported form) byte-identical to a
+            // build without the fault layer.
+            let f = &self.fstats;
+            self.registry
+                .counter_add("engine.faults_injected", f.injected_errors);
+            self.registry
+                .counter_add("engine.fault_spikes", f.latency_spikes);
+            self.registry
+                .counter_add("engine.fault_gc_stall_ns", f.gc_stall_ns);
+            self.registry.counter_add("engine.retries", f.retries);
+            self.registry
+                .counter_add("engine.retry_exhausted", f.retry_exhausted);
+            self.registry
+                .counter_add("engine.hedges_issued", f.hedges_issued);
+            self.registry
+                .counter_add("engine.hedges_cancelled", f.hedges_cancelled);
+            self.registry
+                .counter_add("engine.deadline_skips", f.deadline_skips);
+            self.registry
+                .counter_add("engine.queries_degraded", f.degraded_queries);
+            self.registry
+                .counter_add("engine.ios_planned", f.ios_planned);
+            self.registry
+                .counter_add("engine.ios_completed", f.ios_completed);
+            self.registry
+                .counter_add("engine.ios_abandoned", f.ios_abandoned);
+        }
+
         let duration_s = self.config.duration_us / 1e6;
         let metrics = RunMetrics::assemble(
             self.completed_in_window as f64 / duration_s,
@@ -375,6 +593,7 @@ impl<'a> Simulation<'a> {
             self.completed_in_window,
             self.query_read_bytes,
             self.query_io_count,
+            self.fstats,
         );
         TracedRun {
             metrics,
@@ -423,6 +642,14 @@ impl<'a> Simulation<'a> {
         }
         let mut phase_ns = [0u64; ObsPhase::COUNT];
         phase_ns[ObsPhase::QueueWait.index()] = wait_ns;
+        let deadline_ns = if self.injector.is_some() && self.config.faults.io_deadline_us > 0.0 {
+            t.saturating_add(us_to_ns(self.config.faults.io_deadline_us))
+        } else {
+            u64::MAX
+        };
+        if self.injector.is_some() {
+            self.fstats.ios_planned += self.plans[plan].io_count();
+        }
         let q = ActiveQuery {
             plan,
             seg: 0,
@@ -438,6 +665,10 @@ impl<'a> Simulation<'a> {
             attr_phase: ObsPhase::QueueWait,
             attr_since_ns: t,
             phase_ns,
+            deadline_ns,
+            degraded: false,
+            beam_seq: 0,
+            reqs_state: Vec::new(),
         };
         let slot = if let Some(slot) = self.free_slots.pop() {
             self.queries[slot] = q;
@@ -516,6 +747,19 @@ impl<'a> Simulation<'a> {
                         self.queries[query].seg += 1;
                         continue;
                     }
+                    if self.injector.is_some()
+                        && matches!(self.plans[plan_idx].segments()[seg_idx], Segment::Io { .. })
+                        && t >= self.queries[query].deadline_ns
+                    {
+                        // Past the per-query IO deadline: skip the whole
+                        // beam unread and degrade to a partial result.
+                        let n = reqs.len() as u64;
+                        self.fstats.deadline_skips += n;
+                        self.fstats.ios_abandoned += n;
+                        self.queries[query].degraded = true;
+                        self.queries[query].seg += 1;
+                        continue;
+                    }
                     self.set_phase(query, ObsPhase::BeamIssue, t);
                     // Submission runs on a core first; the requests are
                     // issued when it completes.
@@ -556,6 +800,13 @@ impl<'a> Simulation<'a> {
                 };
                 self.beams += 1;
                 self.beam_width_hist.record(reqs.len() as u64);
+                if !is_write && self.injector.is_some() {
+                    // Reads under an active fault profile take the
+                    // resilient path: per-request retry/hedge/deadline
+                    // state machine. Writes stay on the clean path below.
+                    self.issue_beam_faulted(query, t, &reqs);
+                    return;
+                }
                 // Block-layer events carry the owning query's root span so
                 // exported timelines can nest device traffic under queries.
                 let owner = span.index().map_or(NO_OWNER, |i| i as u64);
@@ -593,6 +844,9 @@ impl<'a> Simulation<'a> {
                             offset: r.offset,
                             len: r.len,
                             write: is_write,
+                            attempt: 0,
+                            hedged: false,
+                            outcome: IoOutcome::Ok,
                         });
                     }
                     pending += 1;
@@ -629,15 +883,353 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Fault-mode issuance of a read beam: each request gets its own
+    /// retry/hedge state; the beam completes when every request settles
+    /// (resolved or abandoned).
+    fn issue_beam_faulted(&mut self, query: usize, t: u64, reqs: &[IoReq]) {
+        let (uid, beam) = {
+            let q = &mut self.queries[query];
+            q.beam_seq += 1;
+            q.reqs_state.clear();
+            q.reqs_state.extend(reqs.iter().map(|r| ReqState {
+                offset: r.offset,
+                len: r.len,
+                ..ReqState::default()
+            }));
+            (q.uid, q.beam_seq)
+        };
+        let hedge_ns = us_to_ns(self.config.faults.hedge_after_us.max(0.0));
+        let mut pending = 0usize;
+        for (i, r) in reqs.iter().enumerate() {
+            self.query_io_count += 1;
+            self.query_read_bytes += r.len as u64;
+            let missed = self.cache.access(r.offset, r.len);
+            if missed == 0 {
+                // Page-cache hit: served without touching the (faulty)
+                // device, so it cannot fail or spike.
+                self.reads_cache_hit += 1;
+                self.fstats.ios_completed += 1;
+                self.queries[query].reqs_state[i].resolved = true;
+                continue;
+            }
+            self.start_fault_attempt(query, i, false, t);
+            if hedge_ns > 0 {
+                self.push_event(
+                    t + hedge_ns,
+                    EventKind::FaultHedge {
+                        query,
+                        uid,
+                        beam,
+                        req: i as u16,
+                    },
+                );
+            }
+            pending += 1;
+        }
+        if pending == 0 {
+            self.beams_cache_absorbed += 1;
+            self.set_phase(query, ObsPhase::CacheHit, t);
+            let q = &mut self.queries[query];
+            q.phase = Phase::IoWait;
+            q.pending_ios = 0;
+            q.seg += 1;
+            self.advance(query, t);
+        } else {
+            self.set_phase(query, ObsPhase::FlashService, t);
+            let q = &mut self.queries[query];
+            q.phase = Phase::IoWait;
+            q.pending_ios = pending;
+        }
+    }
+
+    /// Starts one device attempt for a fault-mode read: draws the attempt's
+    /// fault outcome from its identity-keyed RNG stream, schedules the
+    /// (possibly inflated) device service, and registers the attempt as in
+    /// flight. Failed attempts still consume device time and block-layer
+    /// trace records — the host only learns of the error at completion.
+    fn start_fault_attempt(&mut self, query: usize, req_idx: usize, hedged: bool, t: u64) {
+        let (uid, span, beam, offset, len, attempt) = {
+            let q = &mut self.queries[query];
+            let r = &mut q.reqs_state[req_idx];
+            let attempt = r.attempts;
+            r.attempts += 1;
+            if !hedged {
+                r.tries += 1;
+            }
+            debug_assert!(
+                (r.inflight as usize) < r.flight.len(),
+                "more than {} attempts in flight",
+                r.flight.len()
+            );
+            r.flight[r.inflight as usize] = (attempt, hedged, t);
+            r.inflight += 1;
+            (q.uid, q.span, q.beam_seq, r.offset, r.len, attempt)
+        };
+        let tag = if hedged {
+            HEDGE_TAG | attempt as u64
+        } else {
+            attempt as u64
+        };
+        let t_us = t as f64 / NS_PER_US;
+        let injector = self.injector.as_ref().expect("fault path without injector");
+        let fault = injector.draw(uid, req_idx as u64, tag, t_us);
+        if fault.spiked {
+            self.fstats.latency_spikes += 1;
+        }
+        if fault.error {
+            self.fstats.injected_errors += 1;
+        }
+        if !hedged && attempt > 0 {
+            self.fstats.retries += 1;
+        }
+        self.fstats.gc_stall_ns += us_to_ns(fault.gc_stall_us);
+        let owner = span.index().map_or(NO_OWNER, |i| i as u64);
+        self.tracer.record_read_owned(t_us, offset, len, owner);
+        self.reads_device += 1;
+        let done_us = self.device.schedule_faulted(t_us, len, fault.extra_us);
+        self.push_event(
+            us_to_ns(done_us),
+            EventKind::FaultIo {
+                query,
+                uid,
+                beam,
+                req: req_idx as u16,
+                attempt,
+                hedged,
+                failed: fault.error,
+                start_ns: t,
+            },
+        );
+    }
+
+    /// True when a fault event still refers to the query state it was
+    /// scheduled against (same occupant, same read beam, still waiting).
+    fn fault_event_is_current(&self, query: usize, uid: u64, beam: u32) -> bool {
+        self.queries.get(query).is_some_and(|q| {
+            q.live && q.uid == uid && q.beam_seq == beam && q.phase == Phase::IoWait
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_fault_io(
+        &mut self,
+        query: usize,
+        uid: u64,
+        beam: u32,
+        req: usize,
+        attempt: u8,
+        hedged: bool,
+        failed: bool,
+        start_ns: u64,
+        t: u64,
+    ) {
+        if !self.fault_event_is_current(query, uid, beam) {
+            return;
+        }
+        {
+            let r = &self.queries[query].reqs_state[req];
+            if r.resolved || r.abandoned {
+                // A hedge-race loser arriving after the request settled;
+                // its span was already emitted at resolution time.
+                return;
+            }
+        }
+        // Remove this attempt from the in-flight set.
+        let (offset, len, inflight_left) = {
+            let q = &mut self.queries[query];
+            let r = &mut q.reqs_state[req];
+            let n = r.inflight as usize;
+            let pos = r.flight[..n]
+                .iter()
+                .position(|&(a, h, _)| a == attempt && h == hedged)
+                .expect("completion for an attempt not in flight");
+            r.flight[pos] = r.flight[n - 1];
+            r.inflight -= 1;
+            (r.offset, r.len, r.inflight)
+        };
+        let span = self.queries[query].span;
+        if self.obs.level().io() {
+            self.obs.io_span(IoSpan {
+                owner: span,
+                query: uid,
+                start_ns,
+                end_ns: t,
+                offset,
+                len,
+                write: false,
+                attempt,
+                hedged,
+                outcome: if failed {
+                    IoOutcome::Error
+                } else {
+                    IoOutcome::Ok
+                },
+            });
+        }
+        if failed {
+            if inflight_left > 0 {
+                // A sibling attempt may still succeed; wait for it.
+                return;
+            }
+            self.decide_retry_or_abandon(query, uid, beam, req, t);
+        } else {
+            self.resolve_fault_req(query, req, t);
+        }
+    }
+
+    /// Marks a fault-mode read as served. Any sibling attempt still in
+    /// flight lost the race and is cancelled exactly once, here: the host
+    /// stops waiting now, while the device finishes the wasted work
+    /// unobserved (its completion event is dropped as stale).
+    fn resolve_fault_req(&mut self, query: usize, req: usize, t: u64) {
+        let (span, uid) = {
+            let q = &self.queries[query];
+            (q.span, q.uid)
+        };
+        let (losers, n_losers, offset, len) = {
+            let q = &mut self.queries[query];
+            let r = &mut q.reqs_state[req];
+            r.resolved = true;
+            let n = r.inflight as usize;
+            let losers = r.flight;
+            r.inflight = 0;
+            (losers, n, r.offset, r.len)
+        };
+        for &(a, h, s) in &losers[..n_losers] {
+            self.fstats.hedges_cancelled += 1;
+            if self.obs.level().io() {
+                self.obs.io_span(IoSpan {
+                    owner: span,
+                    query: uid,
+                    start_ns: s,
+                    end_ns: t,
+                    offset,
+                    len,
+                    write: false,
+                    attempt: a,
+                    hedged: h,
+                    outcome: IoOutcome::Cancelled,
+                });
+            }
+        }
+        self.fstats.ios_completed += 1;
+        self.fault_req_settled(query, t);
+    }
+
+    /// A failed read with nothing left in flight: retry if the budget and
+    /// the deadline allow, otherwise abandon it.
+    fn decide_retry_or_abandon(&mut self, query: usize, uid: u64, beam: u32, req: usize, t: u64) {
+        let deadline = self.queries[query].deadline_ns;
+        let tries = self.queries[query].reqs_state[req].tries;
+        let policy = self.config.faults.retry;
+        if t >= deadline {
+            self.abandon_fault_req(query, req, t, true);
+        } else if (tries as u32) < 1 + policy.max_retries {
+            let backoff_us = policy.backoff_us * policy.backoff_mult.powi(tries as i32 - 1);
+            self.queries[query].reqs_state[req].retry_pending = true;
+            self.push_event(
+                t + us_to_ns(backoff_us.max(0.0)).max(1),
+                EventKind::FaultRetry {
+                    query,
+                    uid,
+                    beam,
+                    req: req as u16,
+                },
+            );
+        } else {
+            self.abandon_fault_req(query, req, t, false);
+        }
+    }
+
+    fn on_fault_retry(&mut self, query: usize, uid: u64, beam: u32, req: usize, t: u64) {
+        if !self.fault_event_is_current(query, uid, beam) {
+            return;
+        }
+        {
+            let r = &mut self.queries[query].reqs_state[req];
+            if r.resolved || r.abandoned || !r.retry_pending {
+                return;
+            }
+            debug_assert_eq!(r.inflight, 0, "retry scheduled with attempts in flight");
+            r.retry_pending = false;
+        }
+        if t >= self.queries[query].deadline_ns {
+            self.abandon_fault_req(query, req, t, true);
+            return;
+        }
+        self.start_fault_attempt(query, req, false, t);
+    }
+
+    fn on_fault_hedge(&mut self, query: usize, uid: u64, beam: u32, req: usize, t: u64) {
+        if !self.fault_event_is_current(query, uid, beam) {
+            return;
+        }
+        {
+            let r = &self.queries[query].reqs_state[req];
+            // Hedge only a read still waiting on its primary/retry attempt:
+            // not already settled, not between retries, not already hedged.
+            if r.resolved
+                || r.abandoned
+                || r.inflight == 0
+                || (r.inflight as usize) >= r.flight.len()
+            {
+                return;
+            }
+        }
+        if t >= self.queries[query].deadline_ns {
+            return;
+        }
+        self.fstats.hedges_issued += 1;
+        self.start_fault_attempt(query, req, true, t);
+    }
+
+    /// Gives up on a fault-mode read: the query degrades to a partial
+    /// top-k and the loss is accounted (deadline vs retry exhaustion).
+    fn abandon_fault_req(&mut self, query: usize, req: usize, t: u64, deadline_hit: bool) {
+        {
+            let q = &mut self.queries[query];
+            q.reqs_state[req].abandoned = true;
+            q.degraded = true;
+        }
+        self.fstats.ios_abandoned += 1;
+        if deadline_hit {
+            self.fstats.deadline_skips += 1;
+        } else {
+            self.fstats.retry_exhausted += 1;
+        }
+        self.fault_req_settled(query, t);
+    }
+
+    /// One fault-mode read settled (served or abandoned); the beam — and
+    /// with it the segment — completes when the last one does.
+    fn fault_req_settled(&mut self, query: usize, t: u64) {
+        let q = &mut self.queries[query];
+        q.pending_ios -= 1;
+        if q.pending_ios == 0 {
+            q.seg += 1;
+            self.advance(query, t);
+        }
+    }
+
     fn complete(&mut self, query: usize, t: u64) {
-        let (client, started, span, phase_span, phase_ns) = {
+        let (client, started, span, phase_span, phase_ns, degraded) = {
             let q = &mut self.queries[query];
             q.live = false;
             // Bill the trailing interval to whatever phase was current.
             q.phase_ns[q.attr_phase.index()] += t - q.attr_since_ns;
             q.attr_since_ns = t;
-            (q.client, q.started_ns, q.span, q.phase_span, q.phase_ns)
+            (
+                q.client,
+                q.started_ns,
+                q.span,
+                q.phase_span,
+                q.phase_ns,
+                q.degraded,
+            )
         };
+        if degraded {
+            self.fstats.degraded_queries += 1;
+        }
         self.obs.end_span(phase_span, t);
         self.obs.end_span(span, t);
         let latency_ns = t - started;

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod plan;
 
 pub use cost::CostModel;
-pub use executor::{Executor, RunConfig, TracedRun};
-pub use metrics::RunMetrics;
+pub use executor::{Executor, FaultConfig, RetryPolicy, RunConfig, TracedRun, DEFAULT_FAULT_SEED};
+pub use metrics::{FaultStats, RunMetrics};
 pub use plan::{PlanBuilder, QueryPlan, Segment};
+pub use sann_ssdsim::FaultProfile;

@@ -5,6 +5,87 @@ use sann_core::stats;
 use sann_obs::{PhaseBreakdown, Registry};
 use sann_ssdsim::{IoStats, IoTracer};
 
+/// Fault-injection and resilience accounting for one run.
+///
+/// All-zero on a fault-free run ([`FaultStats::is_clean`]): the executor
+/// only tracks these under an active fault profile, so the `none` profile
+/// stays byte-identical to a build without the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Read attempts that failed with an injected transient error.
+    pub injected_errors: u64,
+    /// Read attempts that suffered an injected latency spike.
+    pub latency_spikes: u64,
+    /// Total simulated time reads stalled behind GC pauses, ns.
+    pub gc_stall_ns: u64,
+    /// Retry attempts issued after a failed read.
+    pub retries: u64,
+    /// Planned reads abandoned after exhausting the retry budget.
+    pub retry_exhausted: u64,
+    /// Hedged duplicate reads issued.
+    pub hedges_issued: u64,
+    /// Attempts abandoned because a sibling resolved the read first
+    /// (the loser of a hedge race — cancelled exactly once per race).
+    pub hedges_cancelled: u64,
+    /// Planned reads abandoned because the per-query IO deadline passed.
+    pub deadline_skips: u64,
+    /// Queries that completed with at least one planned read abandoned
+    /// (their top-k is partial; see [`FaultStats::degraded_recall`]).
+    pub degraded_queries: u64,
+    /// Reads the activated queries' plans called for.
+    pub ios_planned: u64,
+    /// Planned reads served (from device or page cache).
+    pub ios_completed: u64,
+    /// Planned reads abandoned (retry exhaustion or deadline).
+    pub ios_abandoned: u64,
+}
+
+impl FaultStats {
+    /// Whether the run saw no fault activity at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Fraction of planned reads actually served, 0..1 (1.0 when no reads
+    /// were planned). The executor guarantees
+    /// `ios_planned == ios_completed + ios_abandoned` at run end.
+    pub fn served_fraction(&self) -> f64 {
+        if self.ios_planned == 0 {
+            1.0
+        } else {
+            self.ios_completed as f64 / self.ios_planned as f64
+        }
+    }
+
+    /// Honest upper bound on the recall of a degraded run: each abandoned
+    /// read removes its candidates from the search frontier, so recall can
+    /// be no better than the healthy recall scaled by the fraction of
+    /// reads served.
+    pub fn degraded_recall(&self, healthy_recall: f64) -> f64 {
+        healthy_recall * self.served_fraction()
+    }
+
+    /// Appends every field to the canonical encoding (fixed order).
+    pub fn encode(&self, buf: &mut ByteWriter) {
+        for v in [
+            self.injected_errors,
+            self.latency_spikes,
+            self.gc_stall_ns,
+            self.retries,
+            self.retry_exhausted,
+            self.hedges_issued,
+            self.hedges_cancelled,
+            self.deadline_skips,
+            self.degraded_queries,
+            self.ios_planned,
+            self.ios_completed,
+            self.ios_abandoned,
+        ] {
+            buf.put_u64_le(v);
+        }
+    }
+}
+
 /// Results of one closed-loop measurement run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -38,6 +119,9 @@ pub struct RunMetrics {
     /// sum to the total reported latency exactly — the executor asserts
     /// this per query.
     pub phase_breakdown: PhaseBreakdown,
+    /// Fault-injection and resilience accounting (all-zero on fault-free
+    /// runs).
+    pub fault: FaultStats,
 }
 
 impl RunMetrics {
@@ -55,6 +139,7 @@ impl RunMetrics {
         completed: u64,
         logical_read_bytes: u64,
         logical_io_count: u64,
+        fault: FaultStats,
     ) -> RunMetrics {
         let io_stats = tracer.stats();
         let latencies_us = registry.latencies_us();
@@ -73,6 +158,7 @@ impl RunMetrics {
             bandwidth_timeline_mib: tracer.bandwidth_timeline(duration_us),
             io_stats,
             phase_breakdown: registry.breakdown().clone(),
+            fault,
         }
     }
 
@@ -109,6 +195,7 @@ impl RunMetrics {
             buf.put_u64_le(count);
         }
         self.phase_breakdown.encode(&mut buf);
+        self.fault.encode(&mut buf);
         buf.into_bytes()
     }
 
@@ -146,7 +233,17 @@ mod tests {
     fn assemble_computes_percentiles() {
         let latencies: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let reg = registry_with_us(&latencies);
-        let m = RunMetrics::assemble(10.0, &reg, 0.5, IoTracer::new(), 1e6, 10, 2048, 2);
+        let m = RunMetrics::assemble(
+            10.0,
+            &reg,
+            0.5,
+            IoTracer::new(),
+            1e6,
+            10,
+            2048,
+            2,
+            FaultStats::default(),
+        );
         // Linear interpolation between closest ranks over samples 1..=100.
         assert!((m.p50_latency_us - 50.5).abs() < 1e-9);
         assert!((m.p99_latency_us - 99.01).abs() < 1e-9);
@@ -161,14 +258,35 @@ mod tests {
 
     #[test]
     fn cpu_utilization_is_clamped() {
-        let m = RunMetrics::assemble(0.0, &Registry::new(), 1.7, IoTracer::new(), 1e6, 0, 0, 0);
+        let m = RunMetrics::assemble(
+            0.0,
+            &Registry::new(),
+            1.7,
+            IoTracer::new(),
+            1e6,
+            0,
+            0,
+            0,
+            FaultStats::default(),
+        );
         assert_eq!(m.cpu_utilization, 1.0);
     }
 
     #[test]
     fn empty_run_is_all_zeros() {
-        let m = RunMetrics::assemble(0.0, &Registry::new(), 0.0, IoTracer::new(), 1e6, 0, 0, 0);
+        let m = RunMetrics::assemble(
+            0.0,
+            &Registry::new(),
+            0.0,
+            IoTracer::new(),
+            1e6,
+            0,
+            0,
+            0,
+            FaultStats::default(),
+        );
         assert_eq!(m.completed, 0);
+        assert!(m.fault.is_clean());
         assert_eq!(m.p99_latency_us, 0.0);
         assert_eq!(m.device_read_bytes, 0);
         assert_eq!(m.per_query_bandwidth_mib(), 0.0);
@@ -179,7 +297,17 @@ mod tests {
     fn canonical_bytes_distinguishes_metric_changes() {
         let make = |qps: f64| {
             let reg = registry_with_us(&[1.0, 2.0]);
-            RunMetrics::assemble(qps, &reg, 0.1, IoTracer::new(), 1e6, 2, 8192, 2)
+            RunMetrics::assemble(
+                qps,
+                &reg,
+                0.1,
+                IoTracer::new(),
+                1e6,
+                2,
+                8192,
+                2,
+                FaultStats::default(),
+            )
         };
         let a = make(10.0);
         assert_eq!(a.canonical_bytes(), make(10.0).canonical_bytes());
@@ -199,7 +327,54 @@ mod tests {
     fn per_query_bandwidth_is_bytes_over_latency() {
         // 1 MiB per query, 0.5 s latency → 2 MiB/s.
         let reg = registry_with_us(&[0.5e6, 0.5e6]);
-        let m = RunMetrics::assemble(2.0, &reg, 0.1, IoTracer::new(), 1e6, 2, 2 << 20, 2);
+        let m = RunMetrics::assemble(
+            2.0,
+            &reg,
+            0.1,
+            IoTracer::new(),
+            1e6,
+            2,
+            2 << 20,
+            2,
+            FaultStats::default(),
+        );
         assert!((m.per_query_bandwidth_mib() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_stats_served_fraction_and_degraded_recall() {
+        let clean = FaultStats::default();
+        assert!(clean.is_clean());
+        assert_eq!(clean.served_fraction(), 1.0);
+        assert_eq!(clean.degraded_recall(0.95), 0.95);
+        let f = FaultStats {
+            ios_planned: 200,
+            ios_completed: 150,
+            ios_abandoned: 50,
+            retry_exhausted: 50,
+            degraded_queries: 10,
+            ..FaultStats::default()
+        };
+        assert!(!f.is_clean());
+        assert!((f.served_fraction() - 0.75).abs() < 1e-12);
+        assert!((f.degraded_recall(0.9) - 0.675).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_bytes_distinguishes_fault_stats() {
+        let make = |fault: FaultStats| {
+            let reg = registry_with_us(&[1.0, 2.0]);
+            RunMetrics::assemble(1.0, &reg, 0.1, IoTracer::new(), 1e6, 2, 0, 0, fault)
+        };
+        let clean = make(FaultStats::default());
+        assert_eq!(
+            clean.canonical_bytes(),
+            make(FaultStats::default()).canonical_bytes()
+        );
+        let faulted = make(FaultStats {
+            retries: 1,
+            ..FaultStats::default()
+        });
+        assert_ne!(clean.canonical_bytes(), faulted.canonical_bytes());
     }
 }

@@ -42,18 +42,40 @@ fn push_span_event(out: &mut String, s: &Span, ph: char) {
     ));
 }
 
+/// Renders the fault attributes of an I/O span as extra JSON fields
+/// (leading comma included), or `""` when every attribute has its
+/// fault-free default — so fault-free exports stay byte-identical to
+/// pre-fault builds.
+fn fault_args(io: &IoSpan) -> String {
+    if !io.fault_tagged() {
+        return String::new();
+    }
+    let mut extra = String::new();
+    if io.attempt != 0 {
+        extra.push_str(&format!(",\"attempt\":{}", io.attempt));
+    }
+    if io.hedged {
+        extra.push_str(",\"hedged\":true");
+    }
+    if io.outcome != crate::span::IoOutcome::Ok {
+        extra.push_str(&format!(",\"outcome\":\"{}\"", io.outcome.name()));
+    }
+    extra
+}
+
 fn push_io_event(out: &mut String, io: &IoSpan) {
     let op = if io.write { "write" } else { "read" };
     out.push_str(&format!(
         "{{\"name\":\"{} {}B\",\"cat\":\"io\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
-         \"args\":{{\"offset\":{},\"len\":{}}}}}",
+         \"args\":{{\"offset\":{},\"len\":{}{}}}}}",
         op,
         io.len,
         fmt_us(io.start_ns),
         fmt_us(io.end_ns - io.start_ns),
         io.query,
         io.offset,
-        io.len
+        io.len,
+        fault_args(io)
     ));
 }
 
@@ -159,14 +181,15 @@ pub fn jsonl(trace: &Trace) -> String {
     for io in &trace.io {
         out.push_str(&format!(
             "{{\"type\":\"io\",\"owner\":{},\"query\":{},\"op\":\"{}\",\"offset\":{},\
-             \"len\":{},\"start_ns\":{},\"end_ns\":{}}}\n",
+             \"len\":{},\"start_ns\":{},\"end_ns\":{}{}}}\n",
             io.owner.0,
             io.query,
             if io.write { "write" } else { "read" },
             io.offset,
             io.len,
             io.start_ns,
-            io.end_ns
+            io.end_ns,
+            fault_args(io)
         ));
     }
     out
@@ -196,6 +219,9 @@ mod tests {
             offset: 4096,
             len: 4096,
             write: false,
+            attempt: 0,
+            hedged: false,
+            outcome: crate::span::IoOutcome::Ok,
         });
         t.end_span(f0, 90_000);
         t.end_span(q0, 90_000);
@@ -279,5 +305,36 @@ mod tests {
         let b = sample_trace();
         assert_eq!(chrome_trace(&a), chrome_trace(&b));
         assert_eq!(jsonl(&a), jsonl(&b));
+    }
+
+    #[test]
+    fn fault_attributes_appear_only_when_tagged() {
+        use crate::span::IoOutcome;
+        // A fault-free trace exports no fault fields at all.
+        let clean = jsonl(&sample_trace());
+        assert!(!clean.contains("attempt"));
+        assert!(!clean.contains("hedged"));
+        assert!(!clean.contains("outcome"));
+        // A tagged attempt renders every non-default attribute.
+        let mut t = Tracer::new(TraceLevel::Io);
+        let q = t.begin_span(SpanId::NONE, 0, SpanName::Query { plan: 0 }, 0);
+        t.io_span(IoSpan {
+            owner: q,
+            query: 0,
+            start_ns: 0,
+            end_ns: 10,
+            offset: 0,
+            len: 4096,
+            write: false,
+            attempt: 2,
+            hedged: true,
+            outcome: IoOutcome::Error,
+        });
+        t.end_span(q, 10);
+        let trace = t.finish(10);
+        let out = jsonl(&trace);
+        assert!(out.contains("\"attempt\":2,\"hedged\":true,\"outcome\":\"error\""));
+        let chrome = chrome_trace(&trace);
+        assert!(chrome.contains(",\"attempt\":2,\"hedged\":true,\"outcome\":\"error\"}"));
     }
 }

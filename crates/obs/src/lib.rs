@@ -53,4 +53,6 @@ pub mod span;
 
 pub use hist::LogHistogram;
 pub use registry::{PhaseBreakdown, Registry};
-pub use span::{IoSpan, Phase, Span, SpanId, SpanName, Trace, TraceLevel, TraceSink, Tracer};
+pub use span::{
+    IoOutcome, IoSpan, Phase, Span, SpanId, SpanName, Trace, TraceLevel, TraceSink, Tracer,
+};

@@ -216,6 +216,30 @@ impl Span {
     }
 }
 
+/// How a traced I/O attempt ended. Anything but [`IoOutcome::Ok`] only
+/// occurs under an active fault profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoOutcome {
+    /// The attempt returned data.
+    #[default]
+    Ok,
+    /// The attempt failed with an injected transient read error.
+    Error,
+    /// A hedged duplicate abandoned when its sibling resolved first.
+    Cancelled,
+}
+
+impl IoOutcome {
+    /// Stable label used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOutcome::Ok => "ok",
+            IoOutcome::Error => "error",
+            IoOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
 /// One device request, tagged with the span (and therefore query) that
 /// issued it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,6 +258,21 @@ pub struct IoSpan {
     pub len: u32,
     /// `true` for writes, `false` for reads.
     pub write: bool,
+    /// Retry ordinal of this attempt (0 = first try; fault runs only).
+    pub attempt: u8,
+    /// Whether this attempt is a hedged duplicate (fault runs only).
+    pub hedged: bool,
+    /// How the attempt ended (always [`IoOutcome::Ok`] on fault-free runs).
+    pub outcome: IoOutcome,
+}
+
+impl IoSpan {
+    /// Whether any fault attribute deviates from the fault-free defaults
+    /// (exporters append the extra fields only in that case, keeping
+    /// fault-free exports byte-identical to pre-fault builds).
+    pub fn fault_tagged(&self) -> bool {
+        self.attempt != 0 || self.hedged || self.outcome != IoOutcome::Ok
+    }
 }
 
 /// Destination for spans produced by instrumented code.
@@ -458,6 +497,9 @@ mod tests {
             offset: 4096,
             len: 4096,
             write: false,
+            attempt: 0,
+            hedged: false,
+            outcome: IoOutcome::Ok,
         });
         t.end_span(c, 300);
         t.end_span(q, 400);
@@ -491,6 +533,9 @@ mod tests {
             offset: 0,
             len: 512,
             write: false,
+            attempt: 0,
+            hedged: false,
+            outcome: IoOutcome::Ok,
         });
         t.end_span(q, 10);
         assert!(t.finish(10).io.is_empty());

@@ -30,11 +30,13 @@
 //! ```
 
 pub mod calibrate;
+pub mod faults;
 pub mod model;
 pub mod pagecache;
 pub mod trace;
 
 pub use calibrate::{CalibrationReport, Calibrator};
+pub use faults::{FaultInjector, FaultProfile, ReadFault, HEDGE_TAG};
 pub use model::{DeviceSim, SsdModel};
 pub use pagecache::PageCache;
 pub use trace::{IoEvent, IoStats, IoTracer, NO_OWNER};

@@ -138,6 +138,14 @@ impl DeviceSim {
         self.schedule_op(arrival_us, len, self.model.write_latency_us)
     }
 
+    /// Schedules a read whose media stage is inflated by `extra_media_us`
+    /// (a fault-injected spike, GC stall, or throttle penalty from
+    /// [`crate::faults`]); returns its completion time in µs. With
+    /// `extra_media_us == 0.0` this is exactly [`DeviceSim::schedule`].
+    pub fn schedule_faulted(&mut self, arrival_us: f64, len: u32, extra_media_us: f64) -> f64 {
+        self.schedule_op(arrival_us, len, self.model.base_latency_us + extra_media_us)
+    }
+
     fn schedule_op(&mut self, arrival_us: f64, len: u32, media_us: f64) -> f64 {
         let arrival_ns = (arrival_us * NS_PER_US).round().max(0.0) as u64;
         // Media stage on the earliest-free unit.

@@ -17,7 +17,7 @@
 //! Values are calibrated so the *relative shapes* of Figs. 2–4 hold; see
 //! EXPERIMENTS.md for the calibration notes.
 
-use sann_engine::{CostModel, PlanBuilder};
+use sann_engine::{CostModel, FaultConfig, FaultProfile, PlanBuilder, RetryPolicy};
 
 /// Execution-architecture model of one database.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +52,17 @@ pub struct DbProfile {
     pub max_clients: usize,
     /// Page-cache bytes available to storage reads (0 = direct I/O).
     pub cache_bytes: u64,
+    /// Per-read retry budget when the device reports a transient error
+    /// (storage-layer resilience; only observable under `--fault-profile`).
+    pub max_retries: u32,
+    /// Initial retry backoff, µs (doubles per attempt).
+    pub retry_backoff_us: f64,
+    /// Issue a hedged duplicate read after this many µs in flight
+    /// (0 = never hedge).
+    pub hedge_after_us: f64,
+    /// Per-query I/O deadline, µs: reads still unresolved past it are
+    /// abandoned and the query returns a partial top-k (0 = no deadline).
+    pub io_deadline_us: f64,
 }
 
 impl DbProfile {
@@ -72,6 +83,10 @@ impl DbProfile {
             max_concurrent: 0,
             max_clients: 0,
             cache_bytes: 0,
+            max_retries: 3,
+            retry_backoff_us: 100.0,
+            hedge_after_us: 5_000.0,
+            io_deadline_us: 0.0,
         }
     }
 
@@ -90,6 +105,10 @@ impl DbProfile {
             max_concurrent: 0,
             max_clients: 0,
             cache_bytes: 0,
+            max_retries: 2,
+            retry_backoff_us: 200.0,
+            hedge_after_us: 0.0,
+            io_deadline_us: 0.0,
         }
     }
 
@@ -109,6 +128,10 @@ impl DbProfile {
             max_concurrent: 0,
             max_clients: 0,
             cache_bytes: 0,
+            max_retries: 2,
+            retry_backoff_us: 500.0,
+            hedge_after_us: 0.0,
+            io_deadline_us: 0.0,
         }
     }
 
@@ -128,6 +151,10 @@ impl DbProfile {
             max_concurrent: 0,
             max_clients: 128,
             cache_bytes: 0,
+            max_retries: 1,
+            retry_backoff_us: 1_000.0,
+            hedge_after_us: 0.0,
+            io_deadline_us: 0.0,
         }
     }
 
@@ -149,6 +176,25 @@ impl DbProfile {
     /// Whether `concurrency` client threads are supported.
     pub fn supports_clients(&self, concurrency: usize) -> bool {
         self.max_clients == 0 || concurrency <= self.max_clients
+    }
+
+    /// The engine fault configuration for this database under an injected
+    /// SSD fault profile: the profile decides *what the device does*, the
+    /// database decides *how it reacts* (retry budget, backoff, hedging,
+    /// deadline). With [`FaultProfile::none`] the result is inert and the
+    /// engine keeps its fault-free fast path.
+    pub fn fault_config(&self, profile: FaultProfile) -> FaultConfig {
+        FaultConfig {
+            profile,
+            retry: RetryPolicy {
+                max_retries: self.max_retries,
+                backoff_us: self.retry_backoff_us,
+                backoff_mult: 2.0,
+            },
+            hedge_after_us: self.hedge_after_us,
+            io_deadline_us: self.io_deadline_us,
+            ..FaultConfig::default()
+        }
     }
 }
 
@@ -197,6 +243,26 @@ mod tests {
         assert_eq!(DbProfile::qdrant().intra_fanout, 1);
         assert_eq!(DbProfile::weaviate().intra_fanout, 1);
         assert_eq!(DbProfile::lancedb().intra_fanout, 1);
+    }
+
+    #[test]
+    fn fault_config_carries_each_databases_policy() {
+        let fc = DbProfile::milvus().fault_config(FaultProfile::flaky());
+        assert_eq!(fc.profile, FaultProfile::flaky());
+        assert_eq!(fc.retry.max_retries, 3);
+        assert_eq!(fc.hedge_after_us, 5_000.0);
+        assert_eq!(
+            DbProfile::lancedb()
+                .fault_config(FaultProfile::none())
+                .retry
+                .max_retries,
+            1
+        );
+        // The none profile leaves every policy inert.
+        assert!(!DbProfile::qdrant()
+            .fault_config(FaultProfile::none())
+            .profile
+            .active());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! correctness bug, not an optimization.
 
 use sann_bench::BenchContext;
-use sann_engine::RunMetrics;
+use sann_engine::{FaultProfile, RunMetrics};
 use sann_obs::export::{chrome_trace, jsonl};
 use sann_obs::TraceLevel;
 use sann_vdb::SetupKind;
@@ -58,8 +58,8 @@ struct Cell {
 /// Returns a description of the first trace-invariant violation or metric
 /// byte-divergence found.
 pub fn run() -> Result<String, String> {
-    let first = sweep(None)?;
-    let second = sweep(None)?;
+    let first = sweep(None, FaultProfile::none())?;
+    let second = sweep(None, FaultProfile::none())?;
     let mut audited = compare_passes("second run", &first, &second)?;
     // Artifact-cache invariance: a cold cached pass (populating a scratch
     // directory) and a warm pass (replaying prep from it) must both match
@@ -67,13 +67,23 @@ pub fn run() -> Result<String, String> {
     let cache_dir =
         std::env::temp_dir().join(format!("sann-determinism-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
-    let cold = sweep(Some(&cache_dir))?;
-    let warm = sweep(Some(&cache_dir))?;
+    let cold = sweep(Some(&cache_dir), FaultProfile::none())?;
+    let warm = sweep(Some(&cache_dir), FaultProfile::none())?;
     let _ = std::fs::remove_dir_all(&cache_dir);
     audited += compare_passes("cache-cold run", &first, &cold)?;
     audited += compare_passes("cache-warm run", &first, &warm)?;
+    // Fault injection is part of the determinism contract: a faulted run is
+    // byte-reproducible under a fixed seed, and it must actually perturb
+    // the storage-based cells (a flaky sweep identical to the clean one
+    // means injection silently turned itself off).
+    let flaky_a = sweep(None, FaultProfile::flaky())?;
+    let flaky_b = sweep(None, FaultProfile::flaky())?;
+    audited += compare_passes("flaky fault-profile replay", &flaky_a, &flaky_b)?;
+    if flaky_a.iter().zip(&first).all(|(f, c)| f.bytes == c.bytes) {
+        return Err("flaky fault profile left every cell untouched".into());
+    }
     Ok(format!(
-        "determinism: PASS — {} cells byte-identical across two seeded runs plus cold/warm artifact-cache replays ({audited} metric bytes compared)",
+        "determinism: PASS — {} cells byte-identical across two seeded runs plus cold/warm artifact-cache replays, and a flaky fault-profile sweep replayed byte-for-byte ({audited} metric bytes compared)",
         first.len()
     ))
 }
@@ -110,11 +120,17 @@ fn compare_passes(what: &str, baseline: &[Cell], pass: &[Cell]) -> Result<usize,
 }
 
 /// One full pass: fresh context, validated traces, canonical metrics.
-/// `cache_dir` enables the persistent artifact cache for the pass.
-fn sweep(cache_dir: Option<&std::path::Path>) -> Result<Vec<Cell>, String> {
+/// `cache_dir` enables the persistent artifact cache for the pass;
+/// `fault_profile` injects SSD faults for the pass (the plans and traces
+/// are fault-agnostic, only the simulated runs react).
+fn sweep(
+    cache_dir: Option<&std::path::Path>,
+    fault_profile: FaultProfile,
+) -> Result<Vec<Cell>, String> {
     let mut ctx = BenchContext::new(SCALE);
     ctx.only_dataset = Some(DATASET.to_string());
     ctx.duration_us = DURATION_US;
+    ctx.fault_profile = fault_profile;
     if let Some(dir) = cache_dir {
         ctx.enable_cache(dir);
     }

@@ -19,6 +19,9 @@ cargo test -q --workspace
 echo "==> trace exporter golden files"
 cargo test -q -p sann-engine --test trace_golden
 
+echo "==> fault-injection histogram golden files"
+cargo test -q -p sann-engine --test fault_golden
+
 echo "==> vdbbench cold/warm artifact-cache invariance"
 cargo build -q --release -p sann-bench
 tmp="$(mktemp -d)"
