@@ -24,6 +24,7 @@
 //! non-fatal: the cache only ever accelerates, it never gates a run.
 
 use sann_core::buf::{ByteReader, ByteWriter};
+use sann_core::cast;
 use sann_core::hash::fnv1a64;
 use sann_datagen::DatasetSpec;
 use std::path::{Path, PathBuf};
@@ -161,8 +162,8 @@ pub fn dataset_key(spec: &DatasetSpec, k: usize, tune_queries: usize) -> u64 {
     let mut w = ByteWriter::new();
     w.put_str("dataset");
     w.put_u64_le(spec.content_key());
-    w.put_u64_le(k as u64);
-    w.put_u64_le(tune_queries as u64);
+    w.put_u64_le(cast::u64_from_usize(k));
+    w.put_u64_le(cast::u64_from_usize(tune_queries));
     fnv1a64(&w.into_bytes())
 }
 

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod buf;
+pub mod cast;
 pub mod check;
 pub mod distance;
 pub mod error;

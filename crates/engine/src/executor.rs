@@ -2,6 +2,7 @@
 
 use crate::metrics::{FaultStats, RunMetrics};
 use crate::plan::{QueryPlan, Segment};
+use sann_core::cast;
 use sann_index::IoReq;
 use sann_obs::{
     IoOutcome, IoSpan, LogHistogram, Phase as ObsPhase, Registry, SpanId, SpanName, Trace,
@@ -39,6 +40,19 @@ pub(crate) fn us_to_ns_ceil(us: f64) -> u64 {
         "duration must be a finite non-negative µs value, got {us}"
     );
     (us * NS_PER_US).ceil() as u64
+}
+
+/// Converts the integer event clock back to simulated microseconds.
+///
+/// Exactly `t as f64 / NS_PER_US`, named so sim-time conversions are
+/// greppable; debug builds assert the clock is still below 2^53 ns (~104
+/// simulated days), past which the division starts losing ulps.
+pub(crate) fn ns_to_us(t: u64) -> f64 {
+    debug_assert!(
+        t < (1 << 53),
+        "event clock {t} ns exceeds the f64-exact range"
+    );
+    (t as f64) / NS_PER_US
 }
 
 /// Engine-side retry policy for reads that fail with an injected
@@ -721,7 +735,7 @@ impl<'a> Simulation<'a> {
                     let label = self.seg_phases[plan_idx][seg_idx];
                     self.set_phase(query, label, t);
                     let fanout = (*fanout).max(1);
-                    let sub_ns = us_to_ns_ceil(total_us / fanout as f64);
+                    let sub_ns = us_to_ns_ceil(total_us / cast::f64_from_usize(fanout));
                     {
                         let q = &mut self.queries[query];
                         q.phase = Phase::Cpu;
@@ -753,7 +767,7 @@ impl<'a> Simulation<'a> {
                     {
                         // Past the per-query IO deadline: skip the whole
                         // beam unread and degrade to a partial result.
-                        let n = reqs.len() as u64;
+                        let n = cast::u64_from_usize(reqs.len());
                         self.fstats.deadline_skips += n;
                         self.fstats.ios_abandoned += n;
                         self.queries[query].degraded = true;
@@ -763,7 +777,8 @@ impl<'a> Simulation<'a> {
                     self.set_phase(query, ObsPhase::BeamIssue, t);
                     // Submission runs on a core first; the requests are
                     // issued when it completes.
-                    let submit_ns = us_to_ns(reqs.len() as f64 * self.config.ssd.submit_cpu_us);
+                    let submit_ns =
+                        us_to_ns(cast::f64_from_usize(reqs.len()) * self.config.ssd.submit_cpu_us);
                     {
                         let q = &mut self.queries[query];
                         q.phase = Phase::IoSubmit;
@@ -793,13 +808,23 @@ impl<'a> Simulation<'a> {
                     let q = &self.queries[query];
                     (q.plan, q.seg, q.uid, q.span)
                 };
+                // The per-beam clone releases the borrow on `self.plans` so
+                // the issue path can take `&mut self`; a beam is at most
+                // `beam_width` requests (≤ 8 in every profile), so the copy
+                // is a few dozen bytes, not a per-distance allocation.
                 let (reqs, is_write) = match &self.plans[plan_idx].segments()[seg_idx] {
+                    // sann-lint: allow(hot-alloc) -- tiny per-beam copy releases the plans borrow
                     Segment::Io { reqs } => (reqs.clone(), false),
+                    // sann-lint: allow(hot-alloc) -- tiny per-beam copy releases the plans borrow
                     Segment::Write { reqs } => (reqs.clone(), true),
+                    // Phase-machine invariant: advance() sets IoSubmit only
+                    // on Io/Write segments, so this arm cannot be reached.
+                    // sann-lint: allow(panic-path) -- phase machine sets IoSubmit only on Io/Write segments
                     _ => unreachable!("IoSubmit phase on non-io segment"),
                 };
                 self.beams += 1;
-                self.beam_width_hist.record(reqs.len() as u64);
+                self.beam_width_hist
+                    .record(cast::u64_from_usize(reqs.len()));
                 if !is_write && self.injector.is_some() {
                     // Reads under an active fault profile take the
                     // resilient path: per-request retry/hedge/deadline
@@ -813,7 +838,7 @@ impl<'a> Simulation<'a> {
                 let record_io = self.obs.level().io();
                 let mut pending = 0usize;
                 for r in &reqs {
-                    let t_us = t as f64 / NS_PER_US;
+                    let t_us = ns_to_us(t);
                     let done_ns = if is_write {
                         // Writes bypass the page cache (write-through /
                         // direct I/O semantics).
@@ -869,6 +894,9 @@ impl<'a> Simulation<'a> {
                     q.pending_ios = pending;
                 }
             }
+            // Subtask completions are only scheduled during Cpu/IoSubmit
+            // phases; the event queue cannot deliver one while IoWait.
+            // sann-lint: allow(panic-path) -- subtask events are never scheduled during IoWait
             Phase::IoWait => unreachable!("subtask completion while waiting on io"),
         }
     }
@@ -970,8 +998,14 @@ impl<'a> Simulation<'a> {
         } else {
             attempt as u64
         };
-        let t_us = t as f64 / NS_PER_US;
-        let injector = self.injector.as_ref().expect("fault path without injector");
+        let t_us = ns_to_us(t);
+        // The dispatcher only routes beams here when an injector is armed;
+        // if that ever broke, dropping the attempt (debug builds assert) is
+        // safer than panicking in the middle of a sweep.
+        let Some(injector) = self.injector.as_ref() else {
+            debug_assert!(false, "fault path without injector");
+            return;
+        };
         let fault = injector.draw(uid, req_idx as u64, tag, t_us);
         if fault.spiked {
             self.fstats.latency_spikes += 1;
@@ -1039,10 +1073,16 @@ impl<'a> Simulation<'a> {
             let q = &mut self.queries[query];
             let r = &mut q.reqs_state[req];
             let n = r.inflight as usize;
-            let pos = r.flight[..n]
+            // Every completion event corresponds to an attempt this state
+            // machine put in flight; an unknown one would mean a duplicated
+            // event, and dropping it beats panicking mid-run.
+            let Some(pos) = r.flight[..n]
                 .iter()
                 .position(|&(a, h, _)| a == attempt && h == hedged)
-                .expect("completion for an attempt not in flight");
+            else {
+                debug_assert!(false, "completion for an attempt not in flight");
+                return;
+            };
             r.flight[pos] = r.flight[n - 1];
             r.inflight -= 1;
             (r.offset, r.len, r.inflight)

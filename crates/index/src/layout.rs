@@ -15,6 +15,7 @@
 //!   for 1536-dimensional datasets.
 
 use crate::trace::IoReq;
+use sann_core::cast;
 
 /// Device sector (and page-cache page) size in bytes.
 pub const SECTOR_BYTES: u64 = 4096;
@@ -111,7 +112,7 @@ impl DiskLayout {
     pub fn node_reqs(&self, id: u64) -> Vec<IoReq> {
         let first = self.node_offset(id);
         (0..self.sectors_per_node.max(1))
-            .map(|s| IoReq::new(first + s * SECTOR_BYTES, SECTOR_BYTES as u32))
+            .map(|s| IoReq::new(first + s * SECTOR_BYTES, cast::u32_from_u64(SECTOR_BYTES)))
             .collect()
     }
 
@@ -143,7 +144,7 @@ pub fn range_reqs(offset: u64, bytes: u64) -> Vec<IoReq> {
     let mut at = start;
     while at < end {
         let len = (end - at).min(MAX_REQUEST_BYTES);
-        reqs.push(IoReq::new(at, len as u32));
+        reqs.push(IoReq::new(at, cast::u32_from_u64(len)));
         at += len;
     }
     reqs

@@ -1,5 +1,6 @@
 //! The SSD service model.
 
+use sann_core::cast;
 use std::collections::BinaryHeap;
 
 /// Parameters describing an SSD's performance envelope.
@@ -56,7 +57,7 @@ impl SsdModel {
 
     /// Theoretical peak 4 KiB random-read IOPS of the model (media-limited).
     pub fn peak_iops_4k(&self) -> f64 {
-        let media = self.units as f64 / self.base_latency_us;
+        let media = cast::f64_from_usize(self.units) / self.base_latency_us;
         let bus = self.device_bw / 4096.0;
         media.min(bus) * 1e6
     }
@@ -68,7 +69,7 @@ impl SsdModel {
 
     /// Service time of one request in an otherwise idle device, µs.
     pub fn idle_latency_us(&self, len: u32) -> f64 {
-        self.base_latency_us + len as f64 / self.device_bw
+        self.base_latency_us + f64::from(len) / self.device_bw
     }
 }
 
@@ -147,20 +148,30 @@ impl DeviceSim {
     }
 
     fn schedule_op(&mut self, arrival_us: f64, len: u32, media_us: f64) -> f64 {
-        let arrival_ns = (arrival_us * NS_PER_US).round().max(0.0) as u64;
-        // Media stage on the earliest-free unit.
-        let std::cmp::Reverse(unit_free) = self.units.pop().expect("at least one unit");
+        let arrival_ns = cast::u64_from_f64((arrival_us * NS_PER_US).round().max(0.0));
+        // Media stage on the earliest-free unit. The constructor guarantees
+        // at least one flash unit; if that invariant ever broke, treating
+        // the unit as immediately free keeps the completion path panic-free
+        // instead of aborting a sweep mid-run.
+        let unit_free = match self.units.pop() {
+            Some(std::cmp::Reverse(t)) => t,
+            None => {
+                debug_assert!(false, "DeviceSim built with zero flash units");
+                arrival_ns
+            }
+        };
         let media_start = arrival_ns.max(unit_free);
-        let media_done = media_start + (media_us * NS_PER_US) as u64;
+        let media_done = media_start + cast::u64_from_f64(media_us * NS_PER_US);
         self.units.push(std::cmp::Reverse(media_done));
         // Bus stage, FIFO.
-        let transfer_ns = (len as f64 / self.model.device_bw * NS_PER_US).ceil() as u64;
+        let transfer_ns =
+            cast::u64_from_f64((f64::from(len) / self.model.device_bw * NS_PER_US).ceil());
         let bus_start = media_done.max(self.bus_free_ns);
         let done = bus_start + transfer_ns;
         self.bus_free_ns = done;
         self.completed += 1;
-        self.bytes += len as u64;
-        done as f64 / NS_PER_US
+        self.bytes += u64::from(len);
+        cast::f64_from_u64(done) / NS_PER_US
     }
 
     /// Number of requests completed so far.

@@ -1,0 +1,597 @@
+//! `sann-xtask analyze` — the token-level workspace analyzer.
+//!
+//! Drives the [`crate::lexer`] and the [`crate::rules`] registry over every
+//! `.rs` file of every product crate (all trees: `src/` including
+//! `src/bin/`, `tests/`, `benches/`, `examples/`, plus the workspace-root
+//! facade and integration tests), resolves `sann-lint: allow` markers,
+//! applies the ratcheted baseline, and renders the result as a human table
+//! or SARIF 2.1 ([`crate::sarif`]).
+//!
+//! Severity policy by tree: deny-rules (determinism, layering) apply
+//! everywhere; ratcheted rules (panic-path, cast-truncation, hot-*) apply
+//! to `src/` trees only and skip `#[cfg(test)]` modules — tests may unwrap.
+
+use crate::baseline::{Baseline, MiniToml};
+use crate::lexer;
+use crate::rules::{self, Family, Finding, RuleCtx, Severity, Tree};
+use crate::sarif;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Output format of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable table plus per-finding lines.
+    Text,
+    /// SARIF 2.1.0 JSON (byte-stable).
+    Sarif,
+}
+
+/// Everything configuring one `analyze` run.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root (or a fixture tree).
+    pub root: PathBuf,
+    /// Rule families to run (empty = all).
+    pub families: Vec<Family>,
+    /// Baseline file; defaults to `<root>/analyze-baseline.toml`. A missing
+    /// file is an empty baseline (every ratcheted finding regresses).
+    pub baseline_path: Option<PathBuf>,
+    /// Hot-path manifest; defaults to `<root>/analyze-hotpaths.toml`.
+    pub hotpaths_path: Option<PathBuf>,
+}
+
+impl Options {
+    /// Default options over `root`: all families, default file locations.
+    pub fn new(root: impl Into<PathBuf>) -> Options {
+        Options {
+            root: root.into(),
+            families: Vec::new(),
+            baseline_path: None,
+            hotpaths_path: None,
+        }
+    }
+
+    fn family_on(&self, family: Family) -> bool {
+        self.families.is_empty() || self.families.contains(&family)
+    }
+}
+
+/// One ratchet regression: a (rule, crate) count above its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule name.
+    pub rule: String,
+    /// Crate key.
+    pub krate: String,
+    /// Baselined count.
+    pub baseline: u64,
+    /// Observed count.
+    pub current: u64,
+}
+
+/// Everything one analyze run produced.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Files scanned.
+    pub files: usize,
+    /// Deny-severity unsuppressed findings (any ⇒ failure).
+    pub violations: Vec<Finding>,
+    /// Ratchet-severity unsuppressed findings (counted, not individually
+    /// fatal).
+    pub ratcheted: Vec<Finding>,
+    /// Marker-suppressed findings (any severity).
+    pub allowed: Vec<Finding>,
+    /// Malformed or unknown-rule markers (any ⇒ failure).
+    pub marker_errors: Vec<String>,
+    /// Observed ratcheted counts per (rule, crate).
+    pub counts: BTreeMap<(String, String), u64>,
+    /// The baseline in force.
+    pub baseline: Baseline,
+    /// Ratchet regressions (any ⇒ failure).
+    pub regressions: Vec<Regression>,
+}
+
+impl Analysis {
+    /// Whether the run passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.marker_errors.is_empty() && self.regressions.is_empty()
+    }
+
+    /// (rule, crate) pairs whose counts shrank below the baseline — the
+    /// ratchet can be tightened with `--update-baseline`.
+    pub fn improvements(&self) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for (rule, krate, base) in self.baseline.entries() {
+            let now = self
+                .counts
+                .get(&(rule.to_string(), krate.to_string()))
+                .copied()
+                .unwrap_or(0);
+            if now < base {
+                out.push(Regression {
+                    rule: rule.to_string(),
+                    krate: krate.to_string(),
+                    baseline: base,
+                    current: now,
+                });
+            }
+        }
+        out
+    }
+
+    /// Allow-markers used inside a given crate directory name.
+    pub fn markers_in_crate(&self, krate: &str) -> usize {
+        self.allowed.iter().filter(|f| f.krate == krate).count()
+    }
+
+    /// Renders the SARIF form (see [`crate::sarif`]).
+    pub fn render_sarif(&self) -> String {
+        let mut unsuppressed: Vec<Finding> = Vec::new();
+        unsuppressed.extend(self.violations.iter().cloned());
+        unsuppressed.extend(self.ratcheted.iter().cloned());
+        sarif::render(&unsuppressed, &self.allowed)
+    }
+
+    /// Renders the human table plus failure details.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "sann-xtask analyze: scanned {} files", self.files);
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>8} {:>9} {:>8}  policy",
+            "rule", "findings", "baseline", "allowed"
+        );
+        for rule in rules::REGISTRY {
+            let (pool, policy) = match rule.severity {
+                Severity::Deny => (&self.violations, "deny"),
+                Severity::Ratchet => (&self.ratcheted, "ratchet"),
+            };
+            let found = pool.iter().filter(|f| f.rule == rule.name).count();
+            let base: u64 = self
+                .baseline
+                .entries()
+                .filter(|(r, _, _)| *r == rule.name)
+                .map(|(_, _, n)| n)
+                .sum();
+            let allow = self.allowed.iter().filter(|f| f.rule == rule.name).count();
+            let base_str = if rule.severity == Severity::Deny {
+                "-".to_string()
+            } else {
+                base.to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>8} {:>9} {:>8}  {policy}",
+                rule.name, found, base_str, allow
+            );
+        }
+        for f in &self.violations {
+            let _ = writeln!(
+                out,
+                "error[{}]: {}:{}:{}: {}",
+                f.rule, f.rel, f.line, f.col, f.excerpt
+            );
+            let _ = writeln!(out, "  note: {}", f.message);
+        }
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "error[ratchet]: {}/{}: {} finding(s), baseline allows {}",
+                r.rule, r.krate, r.current, r.baseline
+            );
+            for f in self
+                .ratcheted
+                .iter()
+                .filter(|f| f.rule == r.rule && f.krate == r.krate)
+            {
+                let _ = writeln!(out, "  {}:{}:{}: {}", f.rel, f.line, f.col, f.excerpt);
+            }
+            if let Some(info) = rules::rule(&r.rule) {
+                let _ = writeln!(out, "  note: {}", info.why);
+            }
+            let _ = writeln!(
+                out,
+                "  note: fix the new sites, add `sann-lint: allow({}) -- <reason>` markers, \
+                 or (never to hide a regression) --update-baseline",
+                r.rule
+            );
+        }
+        for e in &self.marker_errors {
+            let _ = writeln!(out, "error[bad-marker]: {e}");
+        }
+        for i in &self.improvements() {
+            let _ = writeln!(
+                out,
+                "note[ratchet]: {}/{} shrank to {} (baseline {}) — run --update-baseline \
+                 to tighten",
+                i.rule, i.krate, i.current, i.baseline
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if self.ok() {
+                "analyze: PASS"
+            } else {
+                "analyze: FAIL"
+            }
+        );
+        out
+    }
+}
+
+/// One file scheduled for scanning.
+struct Job {
+    path: PathBuf,
+    rel: String,
+    krate: String,
+    tree: Tree,
+}
+
+/// Runs the analyzer over `opts.root`.
+///
+/// # Errors
+///
+/// Returns a message when the directory walk, a file read, the baseline, or
+/// the hot-path manifest fails to parse.
+pub fn run(opts: &Options) -> Result<Analysis, String> {
+    let jobs = collect_jobs(&opts.root)?;
+    let hotpaths = load_hotpaths(opts)?;
+    let mut analysis = Analysis {
+        baseline: load_baseline(opts)?,
+        ..Analysis::default()
+    };
+
+    for job in jobs {
+        scan_file(opts, &job, &hotpaths, &mut analysis)?;
+        analysis.files += 1;
+    }
+
+    // Deterministic output order regardless of directory walk order.
+    let by_pos = |a: &Finding, b: &Finding| {
+        (&a.rel, a.line, a.col, a.rule).cmp(&(&b.rel, b.line, b.col, b.rule))
+    };
+    analysis.violations.sort_by(by_pos);
+    analysis.ratcheted.sort_by(by_pos);
+    analysis.allowed.sort_by(by_pos);
+    analysis.marker_errors.sort();
+
+    // Ratchet: observed counts per (rule, crate) vs baseline.
+    for f in &analysis.ratcheted {
+        *analysis
+            .counts
+            .entry((f.rule.to_string(), f.krate.clone()))
+            .or_insert(0) += 1;
+    }
+    for ((rule, krate), &n) in &analysis.counts {
+        let base = analysis.baseline.get(rule, krate);
+        if n > base {
+            analysis.regressions.push(Regression {
+                rule: rule.clone(),
+                krate: krate.clone(),
+                baseline: base,
+                current: n,
+            });
+        }
+    }
+    Ok(analysis)
+}
+
+/// Writes the current ratcheted counts to the baseline file; returns its
+/// path and rendered contents.
+///
+/// # Errors
+///
+/// Returns a message when the analysis or the write fails.
+pub fn update_baseline(opts: &Options) -> Result<(PathBuf, String), String> {
+    let analysis = run(opts)?;
+    if !analysis.violations.is_empty() || !analysis.marker_errors.is_empty() {
+        return Err(
+            "refusing to write a baseline while deny-rule violations or marker errors exist \
+             (fix those first — only ratcheted rules are baselined)"
+                .to_string(),
+        );
+    }
+    let baseline = Baseline::from_counts(&analysis.counts);
+    let path = baseline_path(opts);
+    let text = baseline.render();
+    std::fs::write(&path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok((path, text))
+}
+
+fn baseline_path(opts: &Options) -> PathBuf {
+    opts.baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyze-baseline.toml"))
+}
+
+fn load_baseline(opts: &Options) -> Result<Baseline, String> {
+    let path = baseline_path(opts);
+    if !path.is_file() {
+        return Ok(Baseline::empty());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `rel-file → hot fn names` from the manifest.
+fn load_hotpaths(opts: &Options) -> Result<BTreeMap<String, Vec<String>>, String> {
+    let path = opts
+        .hotpaths_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyze-hotpaths.toml"));
+    if !path.is_file() {
+        return Ok(BTreeMap::new());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc = MiniToml::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (file, fns) in doc.section("hot") {
+        map.entry(file.to_string()).or_default().extend(
+            fns.split(',')
+                .map(|f| f.trim().to_string())
+                .filter(|f| !f.is_empty()),
+        );
+    }
+    Ok(map)
+}
+
+/// Collects every file to scan under `root`.
+///
+/// Workspace mode (`root/crates` exists): every crate directory except the
+/// checker itself, all trees, plus the workspace-root facade `src/`,
+/// `tests/`, and `examples/`. Fixture mode: every `.rs` under `root` as one
+/// pseudo-crate's `src` tree.
+fn collect_jobs(root: &Path) -> Result<Vec<Job>, String> {
+    let mut jobs = Vec::new();
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        if !root.is_dir() {
+            return Err(format!("--root {}: not a directory", root.display()));
+        }
+        push_tree(root, root, "fixture", Tree::Src, &mut jobs)?;
+        return Ok(jobs);
+    }
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)
+        .map_err(|e| format!("read_dir {}: {e}", crates.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        // The checker is exempt: it must name the banned patterns to ban
+        // them (and its fixtures are deliberate violations).
+        if name == "xtask" || name.is_empty() {
+            continue;
+        }
+        for (sub, tree) in [
+            ("src", Tree::Src),
+            ("tests", Tree::Tests),
+            ("benches", Tree::Benches),
+            ("examples", Tree::Examples),
+        ] {
+            let tdir = dir.join(sub);
+            if tdir.is_dir() {
+                push_tree(&tdir, root, &name, tree, &mut jobs)?;
+            }
+        }
+    }
+    // Workspace-root facade crate and integration trees.
+    for (sub, tree) in [
+        ("src", Tree::Src),
+        ("tests", Tree::Tests),
+        ("examples", Tree::Examples),
+    ] {
+        let tdir = root.join(sub);
+        if tdir.is_dir() {
+            push_tree(&tdir, root, "sann", tree, &mut jobs)?;
+        }
+    }
+    Ok(jobs)
+}
+
+fn push_tree(
+    dir: &Path,
+    root: &Path,
+    krate: &str,
+    tree: Tree,
+    jobs: &mut Vec<Job>,
+) -> Result<(), String> {
+    let mut files = Vec::new();
+    collect_rs(dir, &mut files)?;
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        jobs.push(Job {
+            path,
+            rel,
+            krate: krate.to_string(),
+            tree,
+        });
+    }
+    Ok(())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A parsed `// sann-lint: allow(rule) -- reason` marker.
+struct Marker {
+    rule: String,
+    reason: String,
+}
+
+/// Parses a marker out of a raw source line.
+///
+/// Returns `Ok(None)` for lines without a marker, `Err` for malformed ones —
+/// an exception nobody can audit is a violation with extra steps.
+fn parse_marker(line: &str) -> Result<Option<Marker>, String> {
+    let Some(pos) = line.find("sann-lint:") else {
+        return Ok(None);
+    };
+    let rest = line[pos + "sann-lint:".len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err("marker must be `sann-lint: allow(<rule>) -- <reason>`".into());
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed allow( in lint marker".into());
+    };
+    let rule = args[..close].trim();
+    if rules::rule(rule).is_none() {
+        return Err(format!("unknown lint rule `{rule}` in allow marker"));
+    }
+    let tail = args[close + 1..].trim_start();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!("allow({rule}) marker is missing a `-- <reason>`"));
+    }
+    Ok(Some(Marker {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    }))
+}
+
+fn scan_file(
+    opts: &Options,
+    job: &Job,
+    hotpaths: &BTreeMap<String, Vec<String>>,
+    analysis: &mut Analysis,
+) -> Result<(), String> {
+    let source = std::fs::read_to_string(&job.path)
+        .map_err(|e| format!("read {}: {e}", job.path.display()))?;
+    scan_source_inner(
+        opts,
+        &job.path,
+        &job.rel,
+        &job.krate,
+        job.tree,
+        &source,
+        hotpaths.get(&job.rel).map(Vec::as_slice).unwrap_or(&[]),
+        analysis,
+    );
+    Ok(())
+}
+
+/// Scans one in-memory source file — also the engine behind the legacy
+/// [`crate::lint::scan_source`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_source_inner(
+    opts: &Options,
+    file: &Path,
+    rel: &str,
+    krate: &str,
+    tree: Tree,
+    source: &str,
+    hot_fns: &[String],
+    analysis: &mut Analysis,
+) {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let toks = lexer::lex(source);
+    let test_mask = rules::cfg_test_mask(&toks);
+    let hot_ranges = rules::hot_ranges(&toks, hot_fns);
+    let ctx = RuleCtx {
+        file,
+        rel,
+        krate,
+        tree,
+        lines: &raw_lines,
+        toks: &toks,
+        test_mask: &test_mask,
+        hot_ranges: &hot_ranges,
+    };
+
+    let mut found = Vec::new();
+    if opts.family_on(Family::Determinism) {
+        rules::determinism::check(&ctx, &mut found);
+    }
+    if opts.family_on(Family::Layering) {
+        rules::layering::check(&ctx, &mut found);
+    }
+    if opts.family_on(Family::PanicPath) {
+        rules::panic_path::check(&ctx, &mut found);
+    }
+    if opts.family_on(Family::CastSafety) {
+        rules::cast_safety::check(&ctx, &mut found);
+    }
+    if opts.family_on(Family::HotLoop) {
+        rules::hot_loop::check(&ctx, &mut found);
+    }
+
+    // Markers live in comments, so they are parsed from the raw lines.
+    let mut markers: Vec<Option<Marker>> = Vec::with_capacity(raw_lines.len());
+    for (i, line) in raw_lines.iter().enumerate() {
+        match parse_marker(line) {
+            Ok(m) => markers.push(m),
+            Err(e) => {
+                analysis.marker_errors.push(format!("{rel}:{}: {e}", i + 1));
+                markers.push(None);
+            }
+        }
+    }
+    let allowed_for = |line: u32, rule: &str| -> Option<String> {
+        let idx = line as usize - 1;
+        for look in [Some(idx), idx.checked_sub(1)] {
+            if let Some(Some(m)) = look.and_then(|i| markers.get(i)) {
+                if m.rule == rule {
+                    return Some(m.reason.clone());
+                }
+            }
+        }
+        None
+    };
+
+    for mut f in found {
+        f.allowed = allowed_for(f.line, f.rule);
+        if f.allowed.is_some() {
+            analysis.allowed.push(f);
+        } else {
+            match rules::rule(f.rule).map(|r| r.severity) {
+                Some(Severity::Ratchet) => analysis.ratcheted.push(f),
+                _ => analysis.violations.push(f),
+            }
+        }
+    }
+}
+
+/// The workspace root: the nearest ancestor of the current directory with a
+/// `crates/` dir and a `Cargo.toml`, or the current directory itself.
+pub fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -58,6 +58,7 @@ struct Cell {
 /// Returns a description of the first trace-invariant violation or metric
 /// byte-divergence found.
 pub fn run() -> Result<String, String> {
+    analyzer_self_check()?;
     let first = sweep(None, FaultProfile::none())?;
     let second = sweep(None, FaultProfile::none())?;
     let mut audited = compare_passes("second run", &first, &second)?;
@@ -83,9 +84,36 @@ pub fn run() -> Result<String, String> {
         return Err("flaky fault profile left every cell untouched".into());
     }
     Ok(format!(
-        "determinism: PASS — {} cells byte-identical across two seeded runs plus cold/warm artifact-cache replays, and a flaky fault-profile sweep replayed byte-for-byte ({audited} metric bytes compared)",
+        "determinism: PASS — {} cells byte-identical across two seeded runs plus cold/warm artifact-cache replays, a flaky fault-profile sweep replayed byte-for-byte ({audited} metric bytes compared), and the static analyzer's text/SARIF/baseline outputs byte-stable across a double run",
         first.len()
     ))
+}
+
+/// Double-runs the static analyzer over the workspace and demands that its
+/// own outputs — the text report, the SARIF export, and the rendered
+/// baseline — are byte-identical. The tool that audits determinism is held
+/// to the same contract as the code it audits.
+fn analyzer_self_check() -> Result<(), String> {
+    let opts = crate::analyze::Options::new(crate::analyze::workspace_root());
+    let first = crate::analyze::run(&opts)?;
+    let second = crate::analyze::run(&opts)?;
+    for (what, a, b) in [
+        ("text report", first.render_text(), second.render_text()),
+        ("SARIF export", first.render_sarif(), second.render_sarif()),
+        (
+            "baseline render",
+            crate::baseline::Baseline::from_counts(&first.counts).render(),
+            crate::baseline::Baseline::from_counts(&second.counts).render(),
+        ),
+    ] {
+        if a != b {
+            let byte = a.bytes().zip(b.bytes()).position(|(x, y)| x != y);
+            return Err(format!(
+                "analyzer {what} diverged across a double run: first difference at byte {byte:?}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Byte-diffs one pass against the baseline; returns bytes compared.

@@ -3,17 +3,29 @@
 //! The simulation stack promises *bit-determinism*: identical inputs produce
 //! identical metrics, byte for byte. That promise is easy to break with one
 //! careless `Instant::now()` or an iteration over a `HashMap`. This crate
-//! enforces it from two directions:
+//! enforces it — and a wider set of workspace invariants — from two
+//! directions:
 //!
-//! * **statically** — [`lint`] scans every product crate's sources for
-//!   wall-clock calls, unseeded randomness, order-nondeterministic
-//!   containers, and NaN-unsafe sorts (see [`lint::RULES`]), with explicit
-//!   per-site suppression markers;
+//! * **statically** — [`analyze`] drives a hand-rolled Rust [`lexer`] over
+//!   every product crate and applies the [`rules`] registry: the determinism
+//!   deny-set, crate-layering against the declared dependency DAG,
+//!   panic-path and cast-safety audits ratcheted against
+//!   [`baseline`]-recorded counts, and hot-loop hygiene for functions marked
+//!   `#[sann::hot]` or listed in the hot-path manifest. Results render as a
+//!   human table or SARIF 2.1 ([`sarif`]). The legacy [`lint`] surface is an
+//!   alias for the determinism family;
 //! * **dynamically** — [`determinism`] runs a small end-to-end sweep twice
 //!   with the same seed and diffs the canonical metric encodings byte for
-//!   byte, validating every query trace on the way.
+//!   byte, validating every query trace on the way — and double-runs the
+//!   analyzer itself, demanding byte-stable output.
 //!
-//! Run it as `cargo run -p sann-xtask -- lint [--determinism]`.
+//! Run it as `cargo run -p sann-xtask -- analyze` (or `-- lint
+//! [--determinism]`).
 
+pub mod analyze;
+pub mod baseline;
 pub mod determinism;
+pub mod lexer;
 pub mod lint;
+pub mod rules;
+pub mod sarif;

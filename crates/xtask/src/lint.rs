@@ -1,10 +1,11 @@
-//! The static determinism lint: a hand-rolled line scanner over the
-//! workspace's Rust sources.
+//! The legacy `sann-xtask lint` surface, now a thin adapter over the
+//! token-level analyzer.
 //!
-//! The scanner strips comments and string/char literals first, so prose
-//! mentioning `HashMap` never trips a rule, then matches each [`Rule`]'s
-//! patterns with identifier-boundary awareness. A finding is suppressed only
-//! by an explicit marker on the same line or the line directly above:
+//! `lint` is an alias of `analyze --rules determinism`: the four original
+//! rules run on [`crate::lexer`]'s token stream (see
+//! [`crate::rules::determinism`]), so string literals, raw strings, nested
+//! comments, and lifetimes can no longer trip them. The report shape,
+//! rendering, and allow-marker semantics are unchanged:
 //!
 //! ```text
 //! // sann-lint: allow(wall-clock) -- reason the exception is sound
@@ -14,25 +15,31 @@
 //! `-- reason` are themselves reported as errors — an exception nobody can
 //! audit is a violation with extra steps.
 
+use crate::analyze::{self, Options};
+use crate::rules::{Family, Tree};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// A lint rule: a name (used in `allow(...)` markers), the reason it exists,
 /// and the identifier patterns that trigger it.
+///
+/// Kept for API compatibility; the analyzer matches tokens, not line
+/// patterns, so `patterns` is documentation of what fires the rule.
 #[derive(Debug, Clone, Copy)]
 pub struct Rule {
     /// Marker-facing rule name.
     pub name: &'static str,
     /// Why the pattern is banned in simulation code.
     pub why: &'static str,
-    /// Identifier patterns (matched with identifier boundaries).
+    /// Identifier patterns (matched as whole tokens).
     pub patterns: &'static [&'static str],
 }
 
-/// The deny-set enforced across every product crate.
+/// The determinism deny-set enforced across every product crate.
 ///
-/// `nan-unsafe-sort` is special-cased in the scanner (it needs three
-/// co-occurring patterns, not one), so its `patterns` list is empty here.
+/// `nan-unsafe-sort` needs three co-occurring patterns, not one, so its
+/// `patterns` list is empty here. The full rule registry (layering,
+/// panic-path, cast-safety, hot-loop) lives in [`crate::rules::REGISTRY`].
 pub const RULES: &[Rule] = &[
     Rule {
         name: "wall-clock",
@@ -156,6 +163,28 @@ impl Report {
     }
 }
 
+fn determinism_options(root: &Path) -> Options {
+    let mut opts = Options::new(root);
+    opts.families = vec![Family::Determinism];
+    opts
+}
+
+fn to_report(analysis: analyze::Analysis) -> Report {
+    let convert = |f: crate::rules::Finding| Finding {
+        rule: f.rule,
+        file: f.file,
+        line: f.line as usize,
+        excerpt: f.excerpt,
+        allowed: f.allowed,
+    };
+    Report {
+        files: analysis.files,
+        violations: analysis.violations.into_iter().map(convert).collect(),
+        allowed: analysis.allowed.into_iter().map(convert).collect(),
+        marker_errors: analysis.marker_errors,
+    }
+}
+
 /// Scans the product crates under `root/crates/` (the normal mode).
 ///
 /// # Errors
@@ -163,29 +192,10 @@ impl Report {
 /// Returns a message when `root` has no `crates/` directory or a file is
 /// unreadable.
 pub fn scan_workspace(root: &Path) -> Result<Report, String> {
-    let crates = root.join("crates");
-    if !crates.is_dir() {
+    if !root.join("crates").is_dir() {
         return Err(format!("{} has no crates/ directory", root.display()));
     }
-    let mut files = Vec::new();
-    for name in SCANNED_CRATES {
-        let src = crates.join(name).join("src");
-        collect_rs(&src, &mut files)?;
-        // Benches and integration tests of product crates follow the same
-        // rules (the bench harness carries its own markers).
-        for extra in ["benches", "tests"] {
-            let dir = crates.join(name).join(extra);
-            if dir.is_dir() {
-                collect_rs(&dir, &mut files)?;
-            }
-        }
-    }
-    // Workspace-level integration tests too.
-    let root_tests = root.join("tests");
-    if root_tests.is_dir() {
-        collect_rs(&root_tests, &mut files)?;
-    }
-    scan_files(files)
+    analyze::run(&determinism_options(root)).map(to_report)
 }
 
 /// Scans every `.rs` file under an arbitrary directory (fixture mode,
@@ -195,293 +205,28 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
 ///
 /// Returns a message when the directory walk or a read fails.
 pub fn scan_tree(root: &Path) -> Result<Report, String> {
-    if !root.is_dir() {
-        return Err(format!("--root {}: not a directory", root.display()));
-    }
-    let mut files = Vec::new();
-    collect_rs(root, &mut files)?;
-    scan_files(files)
+    analyze::run(&determinism_options(root)).map(to_report)
 }
 
-fn scan_files(files: Vec<PathBuf>) -> Result<Report, String> {
-    let mut report = Report::default();
-    for file in files {
-        let source =
-            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
-        scan_source(&file, &source, &mut report);
-        report.files += 1;
-    }
-    // Deterministic output order regardless of directory walk order.
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    report
-        .allowed
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    if !dir.is_dir() {
-        return Ok(());
-    }
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// A parsed `// sann-lint: allow(rule) -- reason` marker.
-struct Marker {
-    rule: String,
-    reason: String,
-}
-
-/// Scans one file's source into `report`.
+/// Scans one file's source into `report` (determinism rules only).
 pub fn scan_source(file: &Path, source: &str, report: &mut Report) {
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let stripped = strip_non_code(source);
-    let stripped_lines: Vec<&str> = stripped.lines().collect();
-
-    // Parse markers per line (from the raw text: they live in comments).
-    let mut markers: Vec<Option<Marker>> = Vec::with_capacity(raw_lines.len());
-    for (i, line) in raw_lines.iter().enumerate() {
-        match parse_marker(line) {
-            Ok(m) => markers.push(m),
-            Err(e) => {
-                report
-                    .marker_errors
-                    .push(format!("{}:{}: {e}", file.display(), i + 1));
-                markers.push(None);
-            }
-        }
-    }
-
-    let allowed_for = |idx: usize, rule: &str| -> Option<String> {
-        for look in [Some(idx), idx.checked_sub(1)] {
-            if let Some(Some(m)) = look.map(|i| &markers[i]) {
-                if m.rule == rule {
-                    return Some(m.reason.clone());
-                }
-            }
-        }
-        None
-    };
-
-    let mut push = |idx: usize, rule: &'static str| {
-        let finding = Finding {
-            rule,
-            file: file.to_path_buf(),
-            line: idx + 1,
-            excerpt: raw_lines[idx].trim().to_string(),
-            allowed: allowed_for(idx, rule),
-        };
-        if finding.allowed.is_some() {
-            report.allowed.push(finding);
-        } else {
-            report.violations.push(finding);
-        }
-    };
-
-    for (idx, line) in stripped_lines.iter().enumerate() {
-        for rule in RULES {
-            if rule.patterns.iter().any(|p| contains_ident(line, p)) {
-                push(idx, rule.name);
-            }
-        }
-        // NaN-unsafe sort: a sort_by whose comparator goes through
-        // partial_cmp(..).unwrap(). Comparators often span lines, so look
-        // at a short window starting at the sort call.
-        if contains_ident(line, "sort_by") || contains_ident(line, "sort_unstable_by") {
-            let window: String =
-                stripped_lines[idx..(idx + 3).min(stripped_lines.len())].join("\n");
-            if window.contains("partial_cmp") && window.contains("unwrap") {
-                push(idx, "nan-unsafe-sort");
-            }
-        }
-    }
-}
-
-/// Parses a marker out of a raw source line.
-///
-/// Returns `Ok(None)` for lines without a marker, `Err` for malformed ones.
-fn parse_marker(line: &str) -> Result<Option<Marker>, String> {
-    let Some(pos) = line.find("sann-lint:") else {
-        return Ok(None);
-    };
-    let rest = line[pos + "sann-lint:".len()..].trim_start();
-    let Some(args) = rest.strip_prefix("allow(") else {
-        return Err("marker must be `sann-lint: allow(<rule>) -- <reason>`".into());
-    };
-    let Some(close) = args.find(')') else {
-        return Err("unclosed allow( in lint marker".into());
-    };
-    let rule = args[..close].trim();
-    if !RULES.iter().any(|r| r.name == rule) {
-        return Err(format!("unknown lint rule `{rule}` in allow marker"));
-    }
-    let tail = args[close + 1..].trim_start();
-    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
-    if reason.is_empty() {
-        return Err(format!("allow({rule}) marker is missing a `-- <reason>`"));
-    }
-    Ok(Some(Marker {
-        rule: rule.to_string(),
-        reason: reason.to_string(),
-    }))
-}
-
-/// Whether `pattern` occurs in `line` with no identifier character on
-/// either side (so `Instant` does not match `InstantLike`). Patterns may
-/// contain `::`.
-fn contains_ident(line: &str, pattern: &str) -> bool {
-    let bytes = line.as_bytes();
-    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut from = 0;
-    while let Some(found) = line[from..].find(pattern) {
-        let start = from + found;
-        let end = start + pattern.len();
-        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
-        let right_ok = end == bytes.len() || !is_ident(bytes[end]);
-        if left_ok && right_ok {
-            return true;
-        }
-        from = start + 1;
-    }
-    false
-}
-
-/// Replaces comments, string literals, and char literals with spaces,
-/// preserving line structure so line numbers survive.
-fn strip_non_code(source: &str) -> String {
-    let chars: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match c {
-            '/' if next == Some('/') => {
-                while i < chars.len() && chars[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if next == Some('*') => {
-                let mut depth = 1;
-                out.push_str("  ");
-                i += 2;
-                while i < chars.len() && depth > 0 {
-                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                out.push(' ');
-                i += 1;
-                while i < chars.len() {
-                    if chars[i] == '\\' {
-                        out.push_str("  ");
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            'r' if next == Some('"')
-                || (next == Some('#') && chars.get(i + 2) == Some(&'"'))
-                || (next == Some('#') && chars.get(i + 2) == Some(&'#')) =>
-            {
-                // Raw string r"..." / r#"..."# / r##"..."## — count hashes.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while chars.get(j) == Some(&'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if chars.get(j) == Some(&'"') {
-                    for _ in i..=j {
-                        out.push(' ');
-                    }
-                    i = j + 1;
-                    // Scan to closing quote followed by `hashes` hashes.
-                    'outer: while i < chars.len() {
-                        if chars[i] == '"' {
-                            let mut k = i + 1;
-                            let mut seen = 0;
-                            while seen < hashes && chars.get(k) == Some(&'#') {
-                                seen += 1;
-                                k += 1;
-                            }
-                            if seen == hashes {
-                                for _ in i..k {
-                                    out.push(' ');
-                                }
-                                i = k;
-                                break 'outer;
-                            }
-                        }
-                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime: 'x' or '\..' is a literal; 'ident
-                // (no closing quote right after) is a lifetime.
-                if next == Some('\\') {
-                    out.push_str("  ");
-                    i += 2;
-                    while i < chars.len() && chars[i] != '\'' {
-                        out.push(' ');
-                        i += 1;
-                    }
-                    if i < chars.len() {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
-                    out.push_str("   ");
-                    i += 3;
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
+    let opts = determinism_options(Path::new("."));
+    let mut analysis = analyze::Analysis::default();
+    let rel = file.to_string_lossy().replace('\\', "/");
+    analyze::scan_source_inner(
+        &opts,
+        file,
+        &rel,
+        "fixture",
+        Tree::Src,
+        source,
+        &[],
+        &mut analysis,
+    );
+    let converted = to_report(analysis);
+    report.violations.extend(converted.violations);
+    report.allowed.extend(converted.allowed);
+    report.marker_errors.extend(converted.marker_errors);
 }
 
 #[cfg(test)]
@@ -537,24 +282,27 @@ mod tests {
 
     #[test]
     fn comments_and_strings_do_not_trip_rules() {
-        let source = r#"
+        let source = r##"
 // A doc mention of HashMap and Instant::now is fine.
 /* block comment: thread_rng() */
 /// Uses a `HashMap` internally? No: BTreeMap.
-let s = "HashMap::new() SystemTime thread_rng";
-let raw = r"Instant::now()";
-let c = 'H';
-"#;
+fn f() {
+    let s = "HashMap::new() SystemTime thread_rng";
+    let raw = r"Instant::now()";
+    let raw2 = r#"OsRng "quoted" HashSet"#;
+    let c = 'H';
+    let _ = (s, raw, raw2, c);
+}
+"##;
         let report = scan_str(source);
         assert!(report.ok(), "violations: {:?}", report.violations);
     }
 
     #[test]
-    fn ident_boundaries_respected() {
-        assert!(contains_ident("let x = Instant::now();", "Instant"));
-        assert!(!contains_ident("struct InstantLike;", "Instant"));
-        assert!(!contains_ident("let my_thread_rngx = 1;", "thread_rng"));
-        assert!(contains_ident("rand::random::<f64>()", "rand::random"));
+    fn one_finding_per_rule_per_line() {
+        // Legacy accounting: two hits of one rule on one line count once.
+        let report = scan_str("let m: HashMap<u32, u32> = HashMap::new();");
+        assert_eq!(report.violations.len(), 1);
     }
 
     #[test]
@@ -584,6 +332,16 @@ let c = 'H';
         let report = scan_str(source);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, "unordered-container");
+    }
+
+    #[test]
+    fn markers_for_analyzer_rules_are_recognized() {
+        // The marker namespace is the full registry: a cast-safety marker in
+        // product code must not be a bad-marker error under `lint`.
+        let source =
+            "// sann-lint: allow(cast-truncation) -- lossless by construction\nlet x = y as u64;\n";
+        let report = scan_str(source);
+        assert!(report.ok(), "{:?}", report.marker_errors);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! SARIF 2.1.0 export of analyzer findings.
+//!
+//! [SARIF](https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html)
+//! is the interchange format editors and CI annotators consume. The writer
+//! here is hand-rolled (std-only) and **byte-deterministic**: fixed field
+//! order, findings sorted by (file, line, column, rule), workspace-relative
+//! forward-slash URIs, and no timestamps — the determinism audit diffs two
+//! exports byte for byte.
+//!
+//! Suppressed findings (valid allow markers) are included with a
+//! `suppressions` entry carrying the marker's reason, matching how SARIF
+//! models in-source suppression; consumers that honor suppressions hide
+//! them, and auditors can still list every exception with its
+//! justification.
+
+use crate::rules::{Finding, Severity, REGISTRY};
+use std::fmt::Write as _;
+
+/// Renders one SARIF 2.1.0 log for the given findings.
+///
+/// `findings` are the unsuppressed results; `allowed` the marker-suppressed
+/// ones. Both are re-sorted internally, so callers need no particular order.
+pub fn render(findings: &[Finding], allowed: &[Finding]) -> String {
+    let mut results: Vec<(&Finding, bool)> = findings
+        .iter()
+        .map(|f| (f, false))
+        .chain(allowed.iter().map(|f| (f, true)))
+        .collect();
+    results.sort_by(|(a, sa), (b, sb)| {
+        (&a.rel, a.line, a.col, a.rule, *sa).cmp(&(&b.rel, b.line, b.col, b.rule, *sb))
+    });
+
+    let mut out = String::new();
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"sann-xtask-analyze\",");
+    out.push_str("\"informationUri\":\"https://github.com/example/sann\",\"rules\":[");
+    for (i, rule) in REGISTRY.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"defaultConfiguration\":{{\"level\":{}}}}}",
+            json_str(rule.name),
+            json_str(rule.why),
+            json_str(level(rule.severity)),
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, (f, suppressed)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sev = REGISTRY
+            .iter()
+            .find(|r| r.name == f.rule)
+            .map(|r| level(r.severity))
+            .unwrap_or("warning");
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]",
+            json_str(f.rule),
+            json_str(sev),
+            json_str(&f.message),
+            json_str(&f.rel),
+            f.line,
+            f.col,
+        );
+        if *suppressed {
+            let reason = f.allowed.as_deref().unwrap_or("");
+            let _ = write!(
+                out,
+                ",\"suppressions\":[{{\"kind\":\"inSource\",\"justification\":{}}}]",
+                json_str(reason)
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Deny => "error",
+        Severity::Ratchet => "warning",
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(rule: &'static str, rel: &str, line: u32, col: u32) -> Finding {
+        Finding {
+            rule,
+            file: PathBuf::from(rel),
+            rel: rel.to_string(),
+            krate: "core".to_string(),
+            line,
+            col,
+            message: format!("msg for {rule}"),
+            excerpt: "let x = 1;".to_string(),
+            allowed: None,
+        }
+    }
+
+    #[test]
+    fn output_is_order_independent_and_stable() {
+        let a = finding("panic-path", "crates/core/src/a.rs", 3, 9);
+        let b = finding("wall-clock", "crates/core/src/a.rs", 1, 1);
+        let one = render(&[a.clone(), b.clone()], &[]);
+        let two = render(&[b, a], &[]);
+        assert_eq!(one, two, "result order must not leak into the export");
+        assert!(one.contains("\"version\":\"2.1.0\""));
+        // Sorted: wall-clock (line 1) before panic-path (line 3).
+        assert!(one.find("wall-clock").unwrap() < one.rfind("panic-path").unwrap());
+    }
+
+    #[test]
+    fn suppressions_carry_the_marker_reason() {
+        let mut f = finding("unordered-container", "x.rs", 2, 2);
+        f.allowed = Some("scratch map, order never observed".to_string());
+        let out = render(&[], &[f]);
+        assert!(out.contains("\"suppressions\""));
+        assert!(out.contains("scratch map, order never observed"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn every_registry_rule_is_described() {
+        let out = render(&[], &[]);
+        for rule in REGISTRY {
+            assert!(
+                out.contains(&format!("\"id\":\"{}\"", rule.name)),
+                "{}",
+                rule.name
+            );
+        }
+    }
+}

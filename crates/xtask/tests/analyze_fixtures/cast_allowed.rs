@@ -1,0 +1,6 @@
+//! Fixture: a bare cast with an audited lossless-ness argument.
+
+fn documented(len: usize) -> u64 {
+    // sann-lint: allow(cast-truncation) -- usize is at most 64 bits on all supported targets
+    len as u64
+}

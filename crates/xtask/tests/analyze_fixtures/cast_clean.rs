@@ -1,0 +1,11 @@
+//! Fixture: checked conversions only — `use x as y` renames and trait
+//! casts must not trip the numeric-cast rule.
+
+use std::collections::BTreeMap as Map;
+
+fn checked(offset: u64) -> Option<u32> {
+    let small: u32 = offset.try_into().ok()?;
+    let m: Map<u32, u32> = Map::new();
+    let _ = &m as &dyn std::fmt::Debug;
+    Some(small)
+}

@@ -1,0 +1,8 @@
+//! Fixture: bare numeric casts the cast-safety rule must flag.
+
+fn lossy(offset: u64, len: usize) -> (u32, u64, f64) {
+    let small = offset as u32;
+    let wide = len as u64;
+    let approx = offset as f64;
+    (small, wide, approx)
+}

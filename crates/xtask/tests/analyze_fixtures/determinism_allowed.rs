@@ -1,0 +1,10 @@
+//! Fixture: determinism hits suppressed by audited markers.
+
+fn tolerated() {
+    // sann-lint: allow(wall-clock) -- progress display only, not simulated time
+    let t = std::time::Instant::now();
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    // sann-lint: allow(unordered-container) -- scratch set, order never observed
+    let s: HashSet<u32> = HashSet::new();
+    let _ = (t, m, s);
+}

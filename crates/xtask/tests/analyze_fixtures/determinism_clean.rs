@@ -1,0 +1,15 @@
+//! Fixture: clean code that *mentions* banned patterns only in prose,
+//! strings, raw strings, and char literals — the lexer must not trip.
+//!
+//! A doc mention of HashMap, Instant::now, and thread_rng is fine.
+
+fn tidy<'a>(name: &'a str) -> &'a str {
+    /* block comment: /* nested */ SystemTime::now() */
+    let s = "HashMap::new() thread_rng SystemTime";
+    let raw = r#"Instant::now() "quoted" OsRng"#;
+    let c = 'H';
+    let mut v = vec![0.3f32, 0.1];
+    v.sort_by(f32::total_cmp);
+    let _ = (s, raw, c, v);
+    name
+}

@@ -1,0 +1,13 @@
+//! Fixture: every determinism rule fires once.
+
+fn naughty() {
+    let t = std::time::Instant::now();
+    let w = SystemTime::now();
+    let mut rng = thread_rng();
+    let r: f64 = rand::random();
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    let mut v = vec![0.3f32, f32::NAN];
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let _ = (t, w, rng, r, m, s, v);
+}

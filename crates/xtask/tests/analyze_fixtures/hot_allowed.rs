@@ -1,0 +1,8 @@
+//! Fixture: a hot-function allocation with an audited justification.
+
+#[sann::hot]
+fn kernel_with_setup(xs: &[f32]) -> f32 {
+    // sann-lint: allow(hot-alloc) -- one-time setup before the inner loop
+    let scratch = xs.to_vec();
+    scratch.iter().sum()
+}

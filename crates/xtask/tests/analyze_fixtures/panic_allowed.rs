@@ -1,0 +1,7 @@
+//! Fixture: panic-path hits carrying documented-invariant markers.
+
+fn audited(v: &[u32]) -> u32 {
+    // sann-lint: allow(panic-path) -- caller guarantees non-empty by construction
+    let first = v.first().unwrap();
+    *first
+}

@@ -1,0 +1,17 @@
+//! Fixture: fallible code on typed errors — no panic paths.
+
+fn careful(v: &[u32]) -> Option<u32> {
+    let first = v.first()?;
+    let second = v.get(1).copied().unwrap_or_default();
+    Some(first + second)
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap freely: the ratcheted rules skip #[cfg(test)].
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: panic-path findings — method panics and panic macros.
+
+fn panicky(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("fixture");
+    if *first > 100 {
+        panic!("too big");
+    }
+    match second {
+        0 => unreachable!("zero filtered earlier"),
+        n => *n + todo!(),
+    }
+}

@@ -13,6 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> sann-xtask lint"
 cargo run -q -p sann-xtask -- lint
 
+echo "==> sann-xtask analyze (layering, panic-path, cast-safety, hot-loop; ratcheted)"
+# Fails on any deny-rule violation, any ratchet regression against
+# analyze-baseline.toml, and any unaudited (reason-less) allow marker.
+cargo run -q -p sann-xtask -- analyze
+
+echo "==> sann-xtask analyze SARIF byte-stability"
+sarif_tmp="$(mktemp -d)"
+cargo run -q -p sann-xtask -- analyze --format sarif >"$sarif_tmp/a.sarif" || true
+cargo run -q -p sann-xtask -- analyze --format sarif >"$sarif_tmp/b.sarif" || true
+diff "$sarif_tmp/a.sarif" "$sarif_tmp/b.sarif"
+rm -rf "$sarif_tmp"
+
 echo "==> cargo test"
 cargo test -q --workspace
 
