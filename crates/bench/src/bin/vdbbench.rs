@@ -17,12 +17,13 @@
 //!   ext-filter    extension: payload-filtered search (SVIII)
 //!   ext-spann     extension: DiskANN vs SPANN storage indexes (SII-B)
 //!   trace         one traced run: Perfetto trace.json/JSONL + latency breakdown
+//!   iostat        I/O characterization: provenance breakdown, telemetry, $/query
 //!   all           everything above in order
 //! ```
 
 use sann_bench::{
     context::BenchContext, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6, fig7_11,
-    table1, table2, tracecmd,
+    iostat, table1, table2, tracecmd,
 };
 use sann_vdb::SetupKind;
 
@@ -64,6 +65,7 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
         "ext-filter" => println!("{}", ext_filter::run(&mut ctx)?),
         "ext-spann" => println!("{}", ext_spann::run(&mut ctx)?),
         "trace" => println!("{}", tracecmd::run(&mut ctx, &rest)?),
+        "iostat" => println!("{}", iostat::run(&mut ctx, &rest)?),
         "all" => {
             println!("{}", table1::run(&ctx)?);
             println!("{}", table2::run(&mut ctx)?);
@@ -79,8 +81,9 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
             println!("{}", ext_spann::run(&mut ctx)?);
         }
         "help" | "--help" | "-h" => {
-            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--cache-dir DIR] [--no-cache] [--prep-threads N] [--trace-out PATH] [--trace-level off|run|query|io] [--fault-profile none|aging|gc-heavy|flaky] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|all>");
+            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--cache-dir DIR] [--no-cache] [--prep-threads N] [--trace-out PATH] [--trace-level off|run|query|io] [--fault-profile none|aging|gc-heavy|flaky] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|iostat|all>");
             println!("  trace [--setup NAME] [--clients N]   export one traced run (Perfetto trace.json + JSONL) with a latency breakdown");
+            println!("  iostat [--setup NAME] [--clients N] [--device 990-pro|sata]   per-provenance I/O breakdown, queue-depth/utilization timelines, read amplification, and the $/query ledger under healthy and aging devices");
             println!("  prep artifacts (datasets, index builds, tuned knobs) persist under --cache-dir (default .sann-cache); warm runs skip prep entirely");
             println!("  --fault-profile injects deterministic SSD faults (read errors, latency spikes, GC pauses, throttling); each database reacts with its own retry/hedge/deadline policy and reports degraded-recall accounting");
             return Ok(());

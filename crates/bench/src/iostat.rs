@@ -1,0 +1,311 @@
+//! `vdbbench iostat` — the I/O-characterization and cost report.
+//!
+//! Runs one tuned setup under a healthy device and under the `aging`
+//! fault profile, and reports what the paper's bpftrace + price-sheet
+//! methodology would: the per-provenance I/O breakdown (what each read
+//! fetched and where it was served), device telemetry (queue depth,
+//! utilization, read amplification, hot-page skew), per-second timelines,
+//! and the $/query ledger on a concrete device cost model. Everything
+//! derives from always-on simulation state, so the report — and the
+//! `iostat_*.csv` files written under `--results` — is byte-identical
+//! across identical invocations at any `--trace-level`.
+
+use crate::context::BenchContext;
+use crate::report::{num, Table};
+use sann_core::{cast, Result};
+use sann_engine::{DeviceCostModel, FaultProfile, RunMetrics};
+use sann_obs::IoProvenance;
+use sann_vdb::SetupKind;
+
+/// Default setup to characterize: the storage-resident headline index.
+const DEFAULT_SETUP: SetupKind = SetupKind::MilvusDiskann;
+
+/// Default closed-loop clients.
+const DEFAULT_CLIENTS: usize = 8;
+
+/// Dollar figures span ~1e-9..1 USD; a fixed scientific mantissa keeps
+/// them readable and byte-stable.
+fn usd(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+/// Runs the subcommand. `rest` holds flags `from_args` did not consume:
+/// `--setup NAME`, `--clients N`, and `--device {990-pro|sata}`.
+///
+/// # Errors
+///
+/// Returns [`sann_core::Error::InvalidParameter`] on malformed flags and
+/// propagates build/search/filesystem errors.
+pub fn run(ctx: &mut BenchContext, rest: &[String]) -> Result<String> {
+    let (kind, clients, device) = parse_flags(rest)?;
+    let spec = ctx
+        .dataset_specs()
+        .into_iter()
+        .next()
+        .ok_or_else(|| sann_core::Error::invalid_parameter("args", "no dataset matches"))?;
+    let plans = ctx.plans(&spec, kind)?;
+
+    // One run per device-health profile; the tuned plans are shared, so
+    // the delta between rows is purely the device's behaviour.
+    let profiles = [FaultProfile::none(), FaultProfile::aging()];
+    let saved = ctx.fault_profile;
+    let mut runs: Vec<(&'static str, RunMetrics)> = Vec::new();
+    for profile in profiles {
+        ctx.fault_profile = profile;
+        let metrics = ctx.run(kind, &plans, clients).ok_or_else(|| {
+            sann_core::Error::invalid_parameter(
+                "args",
+                format!("{} does not support {clients} clients", kind.name()),
+            )
+        })?;
+        runs.push((profile.name, metrics));
+    }
+    ctx.fault_profile = saved;
+
+    let mut prov = Table::new([
+        "profile",
+        "provenance",
+        "device_reads",
+        "device_mib",
+        "cache_hit_mib",
+        "cache_hits",
+        "byte_share",
+    ]);
+    for (label, m) in &runs {
+        let total_bytes = m.io_stats.read_bytes.max(1);
+        for p in IoProvenance::ALL {
+            let i = p.index();
+            prov.row([
+                (*label).to_owned(),
+                p.name().to_owned(),
+                m.io_stats.prov_reads[i].to_string(),
+                format!("{:.3}", mib(m.io_stats.prov_read_bytes[i])),
+                format!("{:.3}", mib(m.prov_cache_hit_bytes[i])),
+                m.prov_cache_hits[i].to_string(),
+                format!(
+                    "{:.4}",
+                    cast::f64_from_u64(m.io_stats.prov_read_bytes[i])
+                        / cast::f64_from_u64(total_bytes)
+                ),
+            ]);
+        }
+    }
+
+    let mut chars = Table::new([
+        "profile",
+        "qps",
+        "read_amp",
+        "hot_page_skew",
+        "mean_queue_depth",
+        "device_util",
+        "usd_per_query",
+        "usd_per_1m_queries",
+    ]);
+    let mut cost = Table::new([
+        "profile",
+        "capacity_usd",
+        "wear_usd",
+        "energy_usd",
+        "cpu_usd",
+        "total_usd",
+        "usd_per_query",
+        "usd_per_1m_queries",
+    ]);
+    for (label, m) in &runs {
+        let ledger = kind.profile().ledger(m, ctx.cores, device);
+        chars.row([
+            (*label).to_owned(),
+            num(m.qps),
+            format!("{:.4}", m.read_amplification()),
+            format!("{:.4}", m.hot_page_skew),
+            format!("{:.3}", m.device.mean_queue_depth),
+            format!("{:.4}", m.device.utilization),
+            usd(ledger.usd_per_query()),
+            usd(ledger.usd_per_million()),
+        ]);
+        cost.row([
+            (*label).to_owned(),
+            usd(ledger.capacity_usd),
+            usd(ledger.wear_usd),
+            usd(ledger.energy_usd),
+            usd(ledger.cpu_usd),
+            usd(ledger.total_usd()),
+            usd(ledger.usd_per_query()),
+            usd(ledger.usd_per_million()),
+        ]);
+    }
+
+    let mut timeline = Table::new(["profile", "t_s", "queue_depth", "device_util", "read_mib_s"]);
+    for (label, m) in &runs {
+        for (t, ((qd, util), bw)) in m
+            .device
+            .queue_depth_timeline
+            .iter()
+            .zip(&m.device.utilization_timeline)
+            .zip(&m.bandwidth_timeline_mib)
+            .enumerate()
+        {
+            timeline.row([
+                (*label).to_owned(),
+                t.to_string(),
+                format!("{qd:.3}"),
+                format!("{util:.4}"),
+                format!("{bw:.3}"),
+            ]);
+        }
+    }
+
+    ctx.write_csv("iostat_provenance.csv", &prov.to_csv())?;
+    ctx.write_csv("iostat_characterization.csv", &chars.to_csv())?;
+    ctx.write_csv("iostat_cost.csv", &cost.to_csv())?;
+    ctx.write_csv("iostat_timeline.csv", &timeline.to_csv())?;
+
+    let mut out = format!(
+        "I/O characterization: {} on {} at {clients} clients, device model {}\n\n",
+        kind.name(),
+        spec.name,
+        device.name
+    );
+    out.push_str("Read provenance (what each device read fetched):\n");
+    out.push_str(&prov.to_text());
+    out.push_str("\nDevice characterization and unit cost:\n");
+    out.push_str(&chars.to_text());
+    out.push_str("\nCost ledger (per measurement window):\n");
+    out.push_str(&cost.to_text());
+    out.push_str("\nPer-second telemetry timeline:\n");
+    out.push_str(&timeline.to_text());
+    Ok(out)
+}
+
+fn mib(bytes: u64) -> f64 {
+    cast::f64_from_u64(bytes) / f64::from(1u32 << 20)
+}
+
+fn parse_flags(rest: &[String]) -> Result<(SetupKind, usize, DeviceCostModel)> {
+    let mut kind = DEFAULT_SETUP;
+    let mut clients = DEFAULT_CLIENTS;
+    let mut device = DeviceCostModel::samsung_990_pro();
+    let mut it = rest.iter().skip_while(|a| a.as_str() != "iostat").skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--setup" => {
+                let name = it.next().ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", "--setup needs a value")
+                })?;
+                kind = SetupKind::parse(name).ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", format!("unknown setup `{name}`"))
+                })?;
+            }
+            "--clients" => {
+                let value = it.next().ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", "--clients needs a value")
+                })?;
+                clients = value.parse().map_err(|_| {
+                    sann_core::Error::invalid_parameter(
+                        "args",
+                        format!("bad value for --clients: `{value}`"),
+                    )
+                })?;
+            }
+            "--device" => {
+                let value = it.next().ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", "--device needs a value")
+                })?;
+                device = DeviceCostModel::parse(value).ok_or_else(|| {
+                    sann_core::Error::invalid_parameter(
+                        "args",
+                        format!("bad value for --device: `{value}` (990-pro|sata)"),
+                    )
+                })?;
+            }
+            other => {
+                return Err(sann_core::Error::invalid_parameter(
+                    "args",
+                    format!("unknown iostat flag `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok((kind, clients, device))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let (kind, clients, device) = parse_flags(&strings(&["iostat"])).unwrap();
+        assert_eq!(kind, DEFAULT_SETUP);
+        assert_eq!(clients, DEFAULT_CLIENTS);
+        assert_eq!(device.name, "990-pro");
+        let (kind, clients, device) = parse_flags(&strings(&[
+            "iostat",
+            "--setup",
+            "milvus-ivf",
+            "--clients",
+            "4",
+            "--device",
+            "sata",
+        ]))
+        .unwrap();
+        assert_eq!(kind, SetupKind::MilvusIvf);
+        assert_eq!(clients, 4);
+        assert_eq!(device.name, "sata");
+        assert!(parse_flags(&strings(&["iostat", "--device", "floppy"])).is_err());
+        assert!(parse_flags(&strings(&["iostat", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn report_covers_both_profiles_and_restores_context() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.2e6;
+        let dir = std::env::temp_dir().join(format!("sann-iostat-{}", std::process::id()));
+        ctx.results_dir = dir.clone();
+        let before = ctx.fault_profile;
+        let text = run(&mut ctx, &strings(&["iostat", "--clients", "4"])).unwrap();
+        assert_eq!(ctx.fault_profile, before, "iostat must restore the profile");
+        assert!(text.contains("graph-adjacency"), "diskann reads are tagged");
+        assert!(text.contains("none") && text.contains("aging"));
+        assert!(text.contains("usd_per_query"));
+        for csv in [
+            "iostat_provenance.csv",
+            "iostat_characterization.csv",
+            "iostat_cost.csv",
+            "iostat_timeline.csv",
+        ] {
+            let body = std::fs::read_to_string(dir.join(csv)).unwrap();
+            assert!(body.lines().count() > 1, "{csv} must have data rows");
+        }
+        // Double-run byte-stability of the full report and every export.
+        let mut again = BenchContext::new(0.001);
+        again.only_dataset = Some("cohere-s".into());
+        again.duration_us = 0.2e6;
+        again.results_dir = dir.clone();
+        let text2 = run(&mut again, &strings(&["iostat", "--clients", "4"])).unwrap();
+        assert_eq!(text, text2, "iostat must be byte-identical across runs");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aging_profile_degrades_throughput_and_unit_cost() {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.2e6;
+        let spec = ctx.dataset_specs().remove(0);
+        let plans = ctx.plans(&spec, DEFAULT_SETUP).unwrap();
+        let healthy = ctx.run(DEFAULT_SETUP, &plans, 4).unwrap();
+        ctx.fault_profile = FaultProfile::aging();
+        let aging = ctx.run(DEFAULT_SETUP, &plans, 4).unwrap();
+        let device = DeviceCostModel::samsung_990_pro();
+        let h = DEFAULT_SETUP.profile().ledger(&healthy, ctx.cores, device);
+        let a = DEFAULT_SETUP.profile().ledger(&aging, ctx.cores, device);
+        assert!(aging.completed < healthy.completed);
+        assert!(a.usd_per_query() > h.usd_per_query());
+    }
+}

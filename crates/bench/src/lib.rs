@@ -16,6 +16,7 @@
 //! | §VIII ext.: filtered search | [`ext_filter`] | `ext-filter` |
 //! | §II-B ext.: DiskANN vs SPANN | [`ext_spann`] | `ext-spann` |
 //! | — (timeline inspection, DESIGN.md §8) | [`tracecmd`] | `trace` |
+//! | — (I/O characterization & $/query, DESIGN.md §12) | [`iostat`] | `iostat` |
 //!
 //! Results print as aligned text tables and are also written as CSV under
 //! `results/`.
@@ -29,6 +30,7 @@ pub mod fig12_15;
 pub mod fig2_4;
 pub mod fig5_6;
 pub mod fig7_11;
+pub mod iostat;
 pub mod microbench;
 pub mod report;
 pub mod table1;

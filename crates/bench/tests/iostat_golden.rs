@@ -1,0 +1,62 @@
+//! Golden-file test for the `vdbbench iostat` report.
+//!
+//! The full report text — provenance breakdown, characterization summary,
+//! cost ledger, and telemetry timeline for the healthy and aging device
+//! profiles — is compared byte-for-byte against a committed golden file.
+//! The entire pipeline behind it (dataset generation, index build, tuning,
+//! plan compilation, both simulations, dollar pricing, table formatting)
+//! is deterministic, so any drift is a real behaviour change. Regenerate
+//! after an intentional one with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sann-bench --test iostat_golden
+//! ```
+
+use sann_bench::{iostat, BenchContext};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden file; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn iostat_report_matches_golden_byte_for_byte() {
+    let mut ctx = BenchContext::new(0.001);
+    ctx.only_dataset = Some("cohere-s".into());
+    ctx.duration_us = 0.2e6;
+    let dir = std::env::temp_dir().join(format!("sann-iostat-golden-{}", std::process::id()));
+    ctx.results_dir = dir.clone();
+    let args: Vec<String> = ["iostat", "--clients", "4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let text = iostat::run(&mut ctx, &args).unwrap();
+    check_golden("iostat.txt", &text);
+    for csv in ["iostat_provenance.csv", "iostat_cost.csv"] {
+        let body = std::fs::read_to_string(dir.join(csv)).unwrap();
+        check_golden(csv, &body);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,8 +5,8 @@ use crate::plan::{QueryPlan, Segment};
 use sann_core::cast;
 use sann_index::IoReq;
 use sann_obs::{
-    IoOutcome, IoSpan, LogHistogram, Phase as ObsPhase, Registry, SpanId, SpanName, Trace,
-    TraceLevel, TraceSink, Tracer,
+    IoOutcome, IoProvenance, IoSpan, LogHistogram, Phase as ObsPhase, Registry, SpanId, SpanName,
+    Trace, TraceLevel, TraceSink, Tracer,
 };
 use sann_ssdsim::{
     DeviceSim, FaultInjector, FaultProfile, IoTracer, PageCache, SsdModel, HEDGE_TAG, NO_OWNER,
@@ -15,6 +15,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 const NS_PER_US: f64 = 1_000.0;
+
+/// Window width of the queue-depth / utilization timelines, µs (1 s — the
+/// same granularity as the Fig. 5 bandwidth timeline).
+const TELEMETRY_BUCKET_US: f64 = 1e6;
 
 /// Converts simulated microseconds to integer nanoseconds.
 ///
@@ -207,6 +211,11 @@ enum Phase {
 struct ReqState {
     offset: u64,
     len: u32,
+    /// Payload bytes of the fetch (for read-amplification accounting).
+    needed: u32,
+    /// What the read fetches, carried so retries/hedges of the same read
+    /// keep the tag the planner assigned.
+    provenance: IoProvenance,
     /// Attempts started so far (primary + retries + hedges); also the
     /// next attempt's ordinal, which keys the injector's RNG stream.
     attempts: u8,
@@ -355,6 +364,11 @@ struct Simulation<'a> {
     beams: u64,
     beams_cache_absorbed: u64,
     reads_cache_hit: u64,
+    /// Per-provenance page-cache hits and bytes (indexed by
+    /// [`IoProvenance::index`]); with the tracer's per-tag device stats
+    /// these complete the "where did each planned read land" breakdown.
+    prov_cache_hits: [u64; IoProvenance::COUNT],
+    prov_cache_hit_bytes: [u64; IoProvenance::COUNT],
     reads_device: u64,
     writes_device: u64,
     admission_waits: u64,
@@ -421,6 +435,8 @@ impl<'a> Simulation<'a> {
             beams: 0,
             beams_cache_absorbed: 0,
             reads_cache_hit: 0,
+            prov_cache_hits: [0; IoProvenance::COUNT],
+            prov_cache_hit_bytes: [0; IoProvenance::COUNT],
             reads_device: 0,
             writes_device: 0,
             admission_waits: 0,
@@ -543,6 +559,24 @@ impl<'a> Simulation<'a> {
             .counter_add("engine.beams_cache_absorbed", self.beams_cache_absorbed);
         self.registry
             .counter_add("engine.reads_cache_hit", self.reads_cache_hit);
+        // Per-provenance cache-hit counters appear only when a non-default
+        // tag actually hit — same idiom as the exporters' conditional
+        // `prov` attribute, so untagged runs keep their registry (and its
+        // exported form) byte-identical to pre-provenance builds.
+        const PROV_HIT_COUNTERS: [&str; IoProvenance::COUNT] = [
+            "engine.cache_hit.graph-adjacency",
+            "engine.cache_hit.vector-block",
+            "engine.cache_hit.ivf-posting-list",
+            "engine.cache_hit.pq-codes",
+            "engine.cache_hit.metadata",
+        ];
+        for p in IoProvenance::ALL {
+            let hits = self.prov_cache_hits[p.index()];
+            if p != IoProvenance::default() && hits > 0 {
+                self.registry
+                    .counter_add(PROV_HIT_COUNTERS[p.index()], hits);
+            }
+        }
         self.registry
             .counter_add("engine.reads_device", self.reads_device);
         self.registry
@@ -598,6 +632,19 @@ impl<'a> Simulation<'a> {
         }
 
         let duration_s = self.config.duration_us / 1e6;
+        // Device telemetry is sampled unconditionally inside the DES (it
+        // never depends on the trace level), so traced and untraced runs
+        // keep byte-identical metrics.
+        let telemetry = crate::metrics::DeviceTelemetry {
+            mean_queue_depth: self.device.mean_queue_depth(),
+            utilization: self.device.utilization(self.config.duration_us),
+            queue_depth_timeline: self
+                .device
+                .queue_depth_timeline(self.config.duration_us, TELEMETRY_BUCKET_US),
+            utilization_timeline: self
+                .device
+                .utilization_timeline(self.config.duration_us, TELEMETRY_BUCKET_US),
+        };
         let metrics = RunMetrics::assemble(
             self.completed_in_window as f64 / duration_s,
             &self.registry,
@@ -608,6 +655,9 @@ impl<'a> Simulation<'a> {
             self.query_read_bytes,
             self.query_io_count,
             self.fstats,
+            self.prov_cache_hits,
+            self.prov_cache_hit_bytes,
+            telemetry,
         );
         TracedRun {
             metrics,
@@ -842,7 +892,14 @@ impl<'a> Simulation<'a> {
                     let done_ns = if is_write {
                         // Writes bypass the page cache (write-through /
                         // direct I/O semantics).
-                        self.tracer.record_write_owned(t_us, r.offset, r.len, owner);
+                        self.tracer.record_write_tagged(
+                            t_us,
+                            r.offset,
+                            r.len,
+                            r.needed,
+                            r.provenance,
+                            owner,
+                        );
                         self.writes_device += 1;
                         let done_us = self.device.schedule_write(t_us, r.len);
                         us_to_ns(done_us)
@@ -852,9 +909,20 @@ impl<'a> Simulation<'a> {
                         let missed = self.cache.access(r.offset, r.len);
                         if missed == 0 {
                             self.reads_cache_hit += 1;
+                            // sann-lint: allow(panic-path) -- provenance.index() < COUNT by construction
+                            self.prov_cache_hits[r.provenance.index()] += 1;
+                            // sann-lint: allow(panic-path) -- provenance.index() < COUNT by construction
+                            self.prov_cache_hit_bytes[r.provenance.index()] += u64::from(r.len);
                             continue; // page-cache hit: no device traffic
                         }
-                        self.tracer.record_read_owned(t_us, r.offset, r.len, owner);
+                        self.tracer.record_read_tagged(
+                            t_us,
+                            r.offset,
+                            r.len,
+                            r.needed,
+                            r.provenance,
+                            owner,
+                        );
                         self.reads_device += 1;
                         let done_us = self.device.schedule(t_us, r.len);
                         us_to_ns(done_us)
@@ -869,6 +937,7 @@ impl<'a> Simulation<'a> {
                             offset: r.offset,
                             len: r.len,
                             write: is_write,
+                            provenance: r.provenance,
                             attempt: 0,
                             hedged: false,
                             outcome: IoOutcome::Ok,
@@ -922,6 +991,8 @@ impl<'a> Simulation<'a> {
             q.reqs_state.extend(reqs.iter().map(|r| ReqState {
                 offset: r.offset,
                 len: r.len,
+                needed: r.needed,
+                provenance: r.provenance,
                 ..ReqState::default()
             }));
             (q.uid, q.beam_seq)
@@ -936,6 +1007,8 @@ impl<'a> Simulation<'a> {
                 // Page-cache hit: served without touching the (faulty)
                 // device, so it cannot fail or spike.
                 self.reads_cache_hit += 1;
+                self.prov_cache_hits[r.provenance.index()] += 1;
+                self.prov_cache_hit_bytes[r.provenance.index()] += u64::from(r.len);
                 self.fstats.ios_completed += 1;
                 self.queries[query].reqs_state[i].resolved = true;
                 continue;
@@ -976,7 +1049,7 @@ impl<'a> Simulation<'a> {
     /// flight. Failed attempts still consume device time and block-layer
     /// trace records — the host only learns of the error at completion.
     fn start_fault_attempt(&mut self, query: usize, req_idx: usize, hedged: bool, t: u64) {
-        let (uid, span, beam, offset, len, attempt) = {
+        let (uid, span, beam, offset, len, needed, provenance, attempt) = {
             let q = &mut self.queries[query];
             let r = &mut q.reqs_state[req_idx];
             let attempt = r.attempts;
@@ -991,7 +1064,16 @@ impl<'a> Simulation<'a> {
             );
             r.flight[r.inflight as usize] = (attempt, hedged, t);
             r.inflight += 1;
-            (q.uid, q.span, q.beam_seq, r.offset, r.len, attempt)
+            (
+                q.uid,
+                q.span,
+                q.beam_seq,
+                r.offset,
+                r.len,
+                r.needed,
+                r.provenance,
+                attempt,
+            )
         };
         let tag = if hedged {
             HEDGE_TAG | attempt as u64
@@ -1018,7 +1100,8 @@ impl<'a> Simulation<'a> {
         }
         self.fstats.gc_stall_ns += us_to_ns(fault.gc_stall_us);
         let owner = span.index().map_or(NO_OWNER, |i| i as u64);
-        self.tracer.record_read_owned(t_us, offset, len, owner);
+        self.tracer
+            .record_read_tagged(t_us, offset, len, needed, provenance, owner);
         self.reads_device += 1;
         let done_us = self.device.schedule_faulted(t_us, len, fault.extra_us);
         self.push_event(
@@ -1069,7 +1152,7 @@ impl<'a> Simulation<'a> {
             }
         }
         // Remove this attempt from the in-flight set.
-        let (offset, len, inflight_left) = {
+        let (offset, len, provenance, inflight_left) = {
             let q = &mut self.queries[query];
             let r = &mut q.reqs_state[req];
             let n = r.inflight as usize;
@@ -1085,7 +1168,7 @@ impl<'a> Simulation<'a> {
             };
             r.flight[pos] = r.flight[n - 1];
             r.inflight -= 1;
-            (r.offset, r.len, r.inflight)
+            (r.offset, r.len, r.provenance, r.inflight)
         };
         let span = self.queries[query].span;
         if self.obs.level().io() {
@@ -1097,6 +1180,7 @@ impl<'a> Simulation<'a> {
                 offset,
                 len,
                 write: false,
+                provenance,
                 attempt,
                 hedged,
                 outcome: if failed {
@@ -1126,14 +1210,14 @@ impl<'a> Simulation<'a> {
             let q = &self.queries[query];
             (q.span, q.uid)
         };
-        let (losers, n_losers, offset, len) = {
+        let (losers, n_losers, offset, len, provenance) = {
             let q = &mut self.queries[query];
             let r = &mut q.reqs_state[req];
             r.resolved = true;
             let n = r.inflight as usize;
             let losers = r.flight;
             r.inflight = 0;
-            (losers, n, r.offset, r.len)
+            (losers, n, r.offset, r.len, r.provenance)
         };
         for &(a, h, s) in &losers[..n_losers] {
             self.fstats.hedges_cancelled += 1;
@@ -1146,6 +1230,7 @@ impl<'a> Simulation<'a> {
                     offset,
                     len,
                     write: false,
+                    provenance,
                     attempt: a,
                     hedged: h,
                     outcome: IoOutcome::Cancelled,

@@ -1,0 +1,251 @@
+//! The $/query ledger: prices a simulated run on a concrete device.
+//!
+//! The paper's cost argument (Table 1, §6) is that storage-based indexes
+//! trade DRAM capacity for flash — so the interesting number is not QPS
+//! alone but *dollars per query* on a given device. This module turns a
+//! [`RunMetrics`] into that number with a four-component device cost
+//! model:
+//!
+//! * **capacity** — the drive's purchase price amortized linearly over its
+//!   warranty lifetime; a run is billed for the simulated wall time it
+//!   occupies the device.
+//! * **wear** — flash endurance is sold as total bytes written (TBW);
+//!   every simulated write byte burns `price / TBW` dollars of the
+//!   device's remaining life. Read-only search workloads pay zero here;
+//!   streaming-insert workloads (FreshDiskANN-style) do not.
+//! * **energy** — active power scaled by the measured device utilization
+//!   plus idle power for the rest, priced per kWh.
+//! * **cpu** — core-hours of the simulated host, priced at a
+//!   cloud-on-demand-like rate and scaled by measured CPU utilization.
+//!
+//! All four components are pure arithmetic over [`RunMetrics`] fields, so
+//! the ledger is exactly as deterministic as the metrics: identical runs
+//! price to bit-identical dollars. Fault profiles compose for free — an
+//! `aging` device completes fewer queries in the same window at the same
+//! amortized cost, so its $/query rises without any fault-specific terms
+//! here.
+
+use crate::metrics::RunMetrics;
+
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Purchase, endurance, and power parameters of one storage device plus
+/// the host-CPU rate — everything needed to price a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCostModel {
+    /// Display name (also the CLI spelling, kebab-case).
+    pub name: &'static str,
+    /// Drive purchase price, USD.
+    pub device_usd: f64,
+    /// Usable capacity, GB (decimal, as sold).
+    pub capacity_gb: f64,
+    /// Endurance as total terabytes written over the warranty period.
+    pub endurance_tbw: f64,
+    /// Warranty lifetime the purchase price amortizes over, years.
+    pub lifetime_years: f64,
+    /// Power while the device serves media work, watts.
+    pub active_w: f64,
+    /// Idle power, watts.
+    pub idle_w: f64,
+    /// Electricity price, USD per kWh.
+    pub usd_per_kwh: f64,
+    /// Host CPU price, USD per core-hour (cloud on-demand ballpark).
+    pub cpu_usd_per_core_hour: f64,
+}
+
+impl DeviceCostModel {
+    /// The paper's testbed drive: Samsung 990 Pro 2 TB (PCIe 4.0 NVMe).
+    /// 1200 TBW endurance over a 5-year warranty, ~$170 street price.
+    pub fn samsung_990_pro() -> DeviceCostModel {
+        DeviceCostModel {
+            name: "990-pro",
+            device_usd: 170.0,
+            capacity_gb: 2000.0,
+            endurance_tbw: 1200.0,
+            lifetime_years: 5.0,
+            active_w: 5.5,
+            idle_w: 0.05,
+            usd_per_kwh: 0.15,
+            cpu_usd_per_core_hour: 0.048,
+        }
+    }
+
+    /// A budget SATA drive (870 EVO-class): cheaper per GB, same TBW
+    /// class, lower power — the $/query floor for latency-tolerant runs.
+    pub fn sata_ssd() -> DeviceCostModel {
+        DeviceCostModel {
+            name: "sata",
+            device_usd: 110.0,
+            capacity_gb: 2000.0,
+            endurance_tbw: 1200.0,
+            lifetime_years: 5.0,
+            active_w: 3.0,
+            idle_w: 0.03,
+            usd_per_kwh: 0.15,
+            cpu_usd_per_core_hour: 0.048,
+        }
+    }
+
+    /// Parses a CLI spelling (`990-pro` or `sata`).
+    pub fn parse(s: &str) -> Option<DeviceCostModel> {
+        match s {
+            "990-pro" => Some(DeviceCostModel::samsung_990_pro()),
+            "sata" => Some(DeviceCostModel::sata_ssd()),
+            _ => None,
+        }
+    }
+
+    /// Price of one device-second of existence (capacity amortization).
+    pub fn usd_per_second(&self) -> f64 {
+        self.device_usd / (self.lifetime_years * SECONDS_PER_YEAR)
+    }
+
+    /// Price of one written byte (endurance burn).
+    pub fn usd_per_write_byte(&self) -> f64 {
+        self.device_usd / (self.endurance_tbw * 1e12)
+    }
+
+    /// Prices a run executed on `cores` host cores. All terms scale
+    /// linearly with the measurement window, so a longer window prices
+    /// the same steady state to the same $/query.
+    pub fn price(&self, metrics: &RunMetrics, cores: usize) -> QueryLedger {
+        let duration_s = metrics.duration_us / 1e6;
+        let duration_h = duration_s / 3600.0;
+        let util = metrics.device.utilization;
+        let capacity_usd = self.usd_per_second() * duration_s;
+        let wear_usd =
+            self.usd_per_write_byte() * sann_core::cast::f64_from_u64(metrics.io_stats.write_bytes);
+        let device_w = self.active_w * util + self.idle_w * (1.0 - util);
+        let energy_usd = device_w * duration_h / 1000.0 * self.usd_per_kwh;
+        let cpu_usd = sann_core::cast::f64_from_usize(cores)
+            * metrics.cpu_utilization
+            * duration_h
+            * self.cpu_usd_per_core_hour;
+        QueryLedger {
+            capacity_usd,
+            wear_usd,
+            energy_usd,
+            cpu_usd,
+            completed: metrics.completed,
+        }
+    }
+}
+
+/// The priced run: per-component dollars plus the completed-query count
+/// they divide over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryLedger {
+    /// Amortized device purchase price for the window, USD.
+    pub capacity_usd: f64,
+    /// Endurance burned by write bytes, USD.
+    pub wear_usd: f64,
+    /// Device energy, USD.
+    pub energy_usd: f64,
+    /// Host core-hours, USD.
+    pub cpu_usd: f64,
+    /// Queries completed in the window.
+    pub completed: u64,
+}
+
+impl QueryLedger {
+    /// Total run cost, USD.
+    pub fn total_usd(&self) -> f64 {
+        self.capacity_usd + self.wear_usd + self.energy_usd + self.cpu_usd
+    }
+
+    /// Dollars per completed query (0.0 when nothing completed — an
+    /// all-abandoned run has no meaningful unit price).
+    pub fn usd_per_query(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_usd() / sann_core::cast::f64_from_u64(self.completed)
+        }
+    }
+
+    /// Dollars per million queries — the number comparable across papers.
+    pub fn usd_per_million(&self) -> f64 {
+        self.usd_per_query() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, RunConfig};
+    use crate::plan::{QueryPlan, Segment};
+    use sann_index::IoReq;
+
+    fn priced_run(write_heavy: bool) -> (RunMetrics, QueryLedger) {
+        let mut segs = vec![
+            Segment::cpu(20.0),
+            Segment::io(vec![IoReq::new(0, 4096), IoReq::new(8192, 4096)]),
+        ];
+        if write_heavy {
+            segs.push(Segment::write(vec![IoReq::new(1 << 30, 65536)]));
+        }
+        let config = RunConfig {
+            cores: 4,
+            concurrency: 4,
+            duration_us: 0.2e6,
+            ..RunConfig::default()
+        };
+        let m = Executor::new(config).run(&[QueryPlan::new(segs)]);
+        let ledger = DeviceCostModel::samsung_990_pro().price(&m, config.cores);
+        (m, ledger)
+    }
+
+    #[test]
+    fn presets_parse_and_differ() {
+        let nvme = DeviceCostModel::parse("990-pro").unwrap();
+        let sata = DeviceCostModel::parse("sata").unwrap();
+        assert_eq!(nvme, DeviceCostModel::samsung_990_pro());
+        assert!(sata.device_usd < nvme.device_usd);
+        assert!(DeviceCostModel::parse("floppy").is_none());
+    }
+
+    #[test]
+    fn read_only_runs_burn_no_wear() {
+        let (m, ledger) = priced_run(false);
+        assert_eq!(m.io_stats.write_bytes, 0);
+        assert_eq!(ledger.wear_usd, 0.0);
+        assert!(ledger.total_usd() > 0.0);
+        assert!(ledger.usd_per_query() > 0.0);
+        assert!(
+            (ledger.usd_per_million() - ledger.usd_per_query() * 1e6).abs() < 1e-18,
+            "per-million is exactly scaled per-query"
+        );
+    }
+
+    #[test]
+    fn writes_add_wear_cost() {
+        let (m, ledger) = priced_run(true);
+        assert!(m.io_stats.write_bytes > 0);
+        let expect =
+            DeviceCostModel::samsung_990_pro().usd_per_write_byte() * m.io_stats.write_bytes as f64;
+        assert!((ledger.wear_usd - expect).abs() < 1e-18);
+        assert!(ledger.wear_usd > 0.0);
+    }
+
+    #[test]
+    fn empty_ledger_has_no_unit_price() {
+        let ledger = QueryLedger {
+            capacity_usd: 1.0,
+            wear_usd: 0.0,
+            energy_usd: 0.0,
+            cpu_usd: 0.0,
+            completed: 0,
+        };
+        assert_eq!(ledger.usd_per_query(), 0.0);
+        assert_eq!(ledger.usd_per_million(), 0.0);
+    }
+
+    #[test]
+    fn component_rates_match_spec_sheet() {
+        let m = DeviceCostModel::samsung_990_pro();
+        // $170 over 5 years ≈ $1.08e-6 per second.
+        assert!((m.usd_per_second() - 170.0 / (5.0 * 365.25 * 24.0 * 3600.0)).abs() < 1e-18);
+        // $170 over 1200 TBW ≈ $1.4e-13 per written byte.
+        assert!((m.usd_per_write_byte() - 170.0 / 1.2e15).abs() < 1e-24);
+    }
+}

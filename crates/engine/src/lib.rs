@@ -38,11 +38,13 @@
 
 pub mod cost;
 pub mod executor;
+pub mod ledger;
 pub mod metrics;
 pub mod plan;
 
 pub use cost::CostModel;
 pub use executor::{Executor, FaultConfig, RetryPolicy, RunConfig, TracedRun, DEFAULT_FAULT_SEED};
-pub use metrics::{FaultStats, RunMetrics};
+pub use ledger::{DeviceCostModel, QueryLedger};
+pub use metrics::{DeviceTelemetry, FaultStats, RunMetrics};
 pub use plan::{PlanBuilder, QueryPlan, Segment};
 pub use sann_ssdsim::FaultProfile;

@@ -1,9 +1,25 @@
 //! Metrics of one simulated run — the quantities the paper reports.
 
 use sann_core::buf::ByteWriter;
-use sann_core::stats;
-use sann_obs::{PhaseBreakdown, Registry};
+use sann_core::{cast, stats};
+use sann_obs::{IoProvenance, PhaseBreakdown, Registry};
 use sann_ssdsim::{IoStats, IoTracer};
+
+/// Device-level telemetry the executor samples inside the DES event loop
+/// (never gated on the trace level, so traced and untraced runs agree).
+#[derive(Debug, Clone, Default)]
+pub struct DeviceTelemetry {
+    /// Mean device queue depth over all request arrivals (busy flash
+    /// units seen by each arriving request).
+    pub mean_queue_depth: f64,
+    /// Fraction of total flash-unit time spent serving media work, 0..1.
+    pub utilization: f64,
+    /// Per-second mean queue depth (same 1 s windows as the bandwidth
+    /// timeline).
+    pub queue_depth_timeline: Vec<f64>,
+    /// Per-second device utilization, 0..1 per window.
+    pub utilization_timeline: Vec<f64>,
+}
 
 /// Fault-injection and resilience accounting for one run.
 ///
@@ -122,6 +138,21 @@ pub struct RunMetrics {
     /// Fault-injection and resilience accounting (all-zero on fault-free
     /// runs).
     pub fault: FaultStats,
+    /// Measurement-window length, µs (needed to amortize time-based costs
+    /// in [`crate::ledger`]).
+    pub duration_us: f64,
+    /// Page-cache hits per provenance tag (indexed by
+    /// [`IoProvenance::index`]); together with
+    /// [`IoStats::prov_reads`] this partitions every planned read by what
+    /// it fetched and where it was served.
+    pub prov_cache_hits: [u64; IoProvenance::COUNT],
+    /// Bytes served from the page cache per provenance tag.
+    pub prov_cache_hit_bytes: [u64; IoProvenance::COUNT],
+    /// Device telemetry sampled inside the DES (queue depth, utilization).
+    pub device: DeviceTelemetry,
+    /// Fraction of device page accesses served by the hottest 10 % of
+    /// touched 4 KiB pages (0.1 = uniform, → 1.0 = fully skewed).
+    pub hot_page_skew: f64,
 }
 
 impl RunMetrics {
@@ -140,8 +171,12 @@ impl RunMetrics {
         logical_read_bytes: u64,
         logical_io_count: u64,
         fault: FaultStats,
+        prov_cache_hits: [u64; IoProvenance::COUNT],
+        prov_cache_hit_bytes: [u64; IoProvenance::COUNT],
+        device: DeviceTelemetry,
     ) -> RunMetrics {
         let io_stats = tracer.stats();
+        let hot_page_skew = tracer.hot_page_skew();
         let latencies_us = registry.latencies_us();
         let issued = latencies_us.len().max(1) as f64;
         RunMetrics {
@@ -159,6 +194,11 @@ impl RunMetrics {
             io_stats,
             phase_breakdown: registry.breakdown().clone(),
             fault,
+            duration_us,
+            prov_cache_hits,
+            prov_cache_hit_bytes,
+            device,
+            hot_page_skew,
         }
     }
 
@@ -196,7 +236,35 @@ impl RunMetrics {
         }
         self.phase_breakdown.encode(&mut buf);
         self.fault.encode(&mut buf);
+        // I/O-characterization fields (appended after the legacy layout so
+        // pre-existing prefixes stay byte-stable).
+        buf.put_u64_le(self.io_stats.needed_read_bytes);
+        for i in 0..IoProvenance::COUNT {
+            buf.put_u64_le(self.io_stats.prov_reads[i]);
+            buf.put_u64_le(self.io_stats.prov_read_bytes[i]);
+            buf.put_u64_le(self.prov_cache_hits[i]);
+            buf.put_u64_le(self.prov_cache_hit_bytes[i]);
+        }
+        buf.put_f64_le(self.duration_us);
+        buf.put_f64_le(self.hot_page_skew);
+        buf.put_f64_le(self.device.mean_queue_depth);
+        buf.put_f64_le(self.device.utilization);
+        buf.put_u32_le(cast::u32_from_usize(self.device.queue_depth_timeline.len()));
+        for &qd in &self.device.queue_depth_timeline {
+            buf.put_f64_le(qd);
+        }
+        buf.put_u32_le(cast::u32_from_usize(self.device.utilization_timeline.len()));
+        for &u in &self.device.utilization_timeline {
+            buf.put_f64_le(u);
+        }
         buf.into_bytes()
+    }
+
+    /// Device read amplification: bytes fetched over bytes the planner
+    /// actually needed (0.0 when nothing was needed). Cache-served reads
+    /// count in neither term — this characterizes device traffic.
+    pub fn read_amplification(&self) -> f64 {
+        self.io_stats.read_amplification()
     }
 
     /// Mean read bandwidth one query sustains over its own lifetime, MiB/s —
@@ -243,6 +311,9 @@ mod tests {
             2048,
             2,
             FaultStats::default(),
+            [0; IoProvenance::COUNT],
+            [0; IoProvenance::COUNT],
+            DeviceTelemetry::default(),
         );
         // Linear interpolation between closest ranks over samples 1..=100.
         assert!((m.p50_latency_us - 50.5).abs() < 1e-9);
@@ -268,6 +339,9 @@ mod tests {
             0,
             0,
             FaultStats::default(),
+            [0; IoProvenance::COUNT],
+            [0; IoProvenance::COUNT],
+            DeviceTelemetry::default(),
         );
         assert_eq!(m.cpu_utilization, 1.0);
     }
@@ -284,6 +358,9 @@ mod tests {
             0,
             0,
             FaultStats::default(),
+            [0; IoProvenance::COUNT],
+            [0; IoProvenance::COUNT],
+            DeviceTelemetry::default(),
         );
         assert_eq!(m.completed, 0);
         assert!(m.fault.is_clean());
@@ -307,6 +384,9 @@ mod tests {
                 8192,
                 2,
                 FaultStats::default(),
+                [0; IoProvenance::COUNT],
+                [0; IoProvenance::COUNT],
+                DeviceTelemetry::default(),
             )
         };
         let a = make(10.0);
@@ -337,6 +417,9 @@ mod tests {
             2 << 20,
             2,
             FaultStats::default(),
+            [0; IoProvenance::COUNT],
+            [0; IoProvenance::COUNT],
+            DeviceTelemetry::default(),
         );
         assert!((m.per_query_bandwidth_mib() - 2.0).abs() < 1e-9);
     }
@@ -364,7 +447,20 @@ mod tests {
     fn canonical_bytes_distinguishes_fault_stats() {
         let make = |fault: FaultStats| {
             let reg = registry_with_us(&[1.0, 2.0]);
-            RunMetrics::assemble(1.0, &reg, 0.1, IoTracer::new(), 1e6, 2, 0, 0, fault)
+            RunMetrics::assemble(
+                1.0,
+                &reg,
+                0.1,
+                IoTracer::new(),
+                1e6,
+                2,
+                0,
+                0,
+                fault,
+                [0; IoProvenance::COUNT],
+                [0; IoProvenance::COUNT],
+                DeviceTelemetry::default(),
+            )
         };
         let clean = make(FaultStats::default());
         assert_eq!(

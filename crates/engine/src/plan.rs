@@ -228,10 +228,7 @@ impl PlanBuilder {
                     }
                     let mut fanned = Vec::with_capacity(reqs.len() * self.io_fanout);
                     for replica in 0..self.io_fanout as u64 {
-                        fanned.extend(
-                            reqs.iter()
-                                .map(|r| IoReq::new(r.offset + replica * IO_FANOUT_STRIDE, r.len)),
-                        );
+                        fanned.extend(reqs.iter().map(|r| r.shifted(replica * IO_FANOUT_STRIDE)));
                     }
                     segments.push(Segment::io(fanned));
                 }

@@ -247,7 +247,10 @@ impl VectorIndex for DiskAnnIndex {
             // One beam: all node records fetched in parallel.
             let mut reqs = Vec::with_capacity(frontier.len());
             for &id in &frontier {
-                reqs.extend(self.layout.node_reqs(id as u64));
+                reqs.extend(
+                    self.layout
+                        .node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency),
+                );
             }
             trace.push_read(reqs);
 

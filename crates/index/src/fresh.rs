@@ -164,7 +164,7 @@ impl FreshDiskAnnIndex {
         // Write the new record plus every dirtied in-neighbor record.
         let layout = self.layout();
         let mut writes = Vec::new();
-        writes.extend(layout.node_reqs(id as u64));
+        writes.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency));
         for nb in out {
             let adj = &mut self.adj[nb as usize];
             if !adj.contains(&id) {
@@ -180,7 +180,7 @@ impl FreshDiskAnnIndex {
                     self.adj[nb as usize] =
                         robust_prune(&self.data, self.metric, nb, cands, alpha, self.r);
                 }
-                writes.extend(layout.node_reqs(nb as u64));
+                writes.extend(layout.node_reqs(nb as u64, sann_obs::IoProvenance::GraphAdjacency));
             }
         }
         // Traces carry read/compute work; the dirtied records are exposed
@@ -293,7 +293,7 @@ impl FreshDiskAnnIndex {
             }
             let mut reqs = Vec::new();
             for &id in &frontier {
-                reqs.extend(layout.node_reqs(id as u64));
+                reqs.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency));
             }
             steps.push(TraceStep::Read { reqs });
             for &id in &frontier {
@@ -376,7 +376,7 @@ impl VectorIndex for FreshDiskAnnIndex {
             }
             let mut reqs = Vec::new();
             for &id in &frontier {
-                reqs.extend(layout.node_reqs(id as u64));
+                reqs.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency));
             }
             trace.push_read(reqs);
             let mut lookups = 0u64;

@@ -90,7 +90,15 @@ impl MmapHnswIndex {
         let mut page = start / SECTOR_BYTES * SECTOR_BYTES;
         while page < end {
             if cache.access(page, SECTOR_BYTES as u32) > 0 {
-                faults.push(IoReq::new(page, SECTOR_BYTES as u32));
+                // The vector file holds packed full-precision rows; the page's
+                // needed bytes are its overlap with this row.
+                let needed = end.min(page + SECTOR_BYTES) - start.max(page);
+                faults.push(IoReq::tagged(
+                    page,
+                    SECTOR_BYTES as u32,
+                    needed as u32,
+                    sann_obs::IoProvenance::VectorBlock,
+                ));
             }
             page += SECTOR_BYTES;
         }

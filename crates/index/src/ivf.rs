@@ -342,7 +342,12 @@ impl VectorIndex for IvfPqIndex {
         for &c in &probes {
             let c = c as usize;
             // Read the posting list from the device (sequential requests).
-            trace.push_read(range_reqs(self.list_offsets[c], self.list_bytes[c]));
+            // IVF-PQ posting lists hold (id + PQ code) entries.
+            trace.push_read(range_reqs(
+                self.list_offsets[c],
+                self.list_bytes[c],
+                sann_obs::IoProvenance::PqCodes,
+            ));
             let list = &self.lists[c];
             for (i, &id) in list.iter().enumerate() {
                 topk.push(id, table.distance_at(&self.codes[c], i));

@@ -16,6 +16,7 @@
 
 use crate::trace::IoReq;
 use sann_core::cast;
+use sann_obs::IoProvenance;
 
 /// Device sector (and page-cache page) size in bytes.
 pub const SECTOR_BYTES: u64 = 4096;
@@ -108,11 +109,22 @@ impl DiskLayout {
     }
 
     /// The read requests needed to fetch node `id`: one 4 KiB request per
-    /// sector the record occupies.
-    pub fn node_reqs(&self, id: u64) -> Vec<IoReq> {
+    /// sector the record occupies, tagged with `provenance`. Needed bytes
+    /// are the record's `node_bytes` spread over its sectors, so
+    /// fetched-vs-needed accounting sees the sector padding exactly.
+    pub fn node_reqs(&self, id: u64, provenance: IoProvenance) -> Vec<IoReq> {
         let first = self.node_offset(id);
         (0..self.sectors_per_node.max(1))
-            .map(|s| IoReq::new(first + s * SECTOR_BYTES, cast::u32_from_u64(SECTOR_BYTES)))
+            .map(|s| {
+                let needed =
+                    (self.node_bytes - (s * SECTOR_BYTES).min(self.node_bytes)).min(SECTOR_BYTES);
+                IoReq::tagged(
+                    first + s * SECTOR_BYTES,
+                    cast::u32_from_u64(SECTOR_BYTES),
+                    cast::u32_from_u64(needed),
+                    provenance,
+                )
+            })
             .collect()
     }
 
@@ -133,8 +145,11 @@ impl DiskLayout {
 
 /// Splits a contiguous byte range (e.g. an IVF posting list) into
 /// sector-aligned sequential read requests of at most
-/// [`MAX_REQUEST_BYTES`] each.
-pub fn range_reqs(offset: u64, bytes: u64) -> Vec<IoReq> {
+/// [`MAX_REQUEST_BYTES`] each, tagged with `provenance`. Each request's
+/// needed bytes are its overlap with the unaligned `[offset,
+/// offset + bytes)` payload, so alignment slop at both ends counts as
+/// amplification.
+pub fn range_reqs(offset: u64, bytes: u64, provenance: IoProvenance) -> Vec<IoReq> {
     if bytes == 0 {
         return Vec::new();
     }
@@ -144,7 +159,13 @@ pub fn range_reqs(offset: u64, bytes: u64) -> Vec<IoReq> {
     let mut at = start;
     while at < end {
         let len = (end - at).min(MAX_REQUEST_BYTES);
-        reqs.push(IoReq::new(at, cast::u32_from_u64(len)));
+        let needed = (offset + bytes).min(at + len) - offset.max(at);
+        reqs.push(IoReq::tagged(
+            at,
+            cast::u32_from_u64(len),
+            cast::u32_from_u64(needed),
+            provenance,
+        ));
         at += len;
     }
     reqs
@@ -160,10 +181,12 @@ mod tests {
         let layout = DiskLayout::new(1000, 768 * 4 + 4 + 64 * 4, 0);
         assert_eq!(layout.nodes_per_sector(), 1);
         assert_eq!(layout.sectors_per_node(), 1);
-        let reqs = layout.node_reqs(5);
+        let reqs = layout.node_reqs(5, IoProvenance::GraphAdjacency);
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].len, 4096);
         assert_eq!(reqs[0].offset, 5 * 4096);
+        assert_eq!(reqs[0].needed, 3332, "needed = record bytes, not sector");
+        assert_eq!(reqs[0].provenance, IoProvenance::GraphAdjacency);
     }
 
     #[test]
@@ -171,8 +194,15 @@ mod tests {
         // 1536-d f32 vector + degree + 64 neighbors = 6404 bytes.
         let layout = DiskLayout::new(1000, 1536 * 4 + 4 + 64 * 4, 0);
         assert_eq!(layout.sectors_per_node(), 2);
-        let reqs = layout.node_reqs(3);
+        let reqs = layout.node_reqs(3, IoProvenance::GraphAdjacency);
         assert_eq!(reqs.len(), 2);
+        assert_eq!(
+            reqs.iter().map(|r| r.needed as u64).sum::<u64>(),
+            6404,
+            "needed bytes spread over the record's sectors"
+        );
+        assert_eq!(reqs[0].needed, 4096);
+        assert_eq!(reqs[1].needed, 6404 - 4096);
         assert!(
             reqs.iter().all(|r| r.len == 4096),
             "O-15: requests stay 4 KiB"
@@ -205,7 +235,7 @@ mod tests {
 
     #[test]
     fn range_reqs_split_at_128k() {
-        let reqs = range_reqs(0, 300 * 1024);
+        let reqs = range_reqs(0, 300 * 1024, IoProvenance::IvfPostingList);
         assert_eq!(reqs.len(), 3);
         assert_eq!(reqs[0].len, 128 * 1024);
         assert_eq!(reqs[1].len, 128 * 1024);
@@ -215,14 +245,15 @@ mod tests {
 
     #[test]
     fn range_reqs_align_to_sectors() {
-        let reqs = range_reqs(100, 200);
+        let reqs = range_reqs(100, 200, IoProvenance::IvfPostingList);
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].offset, 0);
         assert_eq!(reqs[0].len, 4096);
+        assert_eq!(reqs[0].needed, 200, "only the payload overlap is needed");
     }
 
     #[test]
     fn range_reqs_empty() {
-        assert!(range_reqs(4096, 0).is_empty());
+        assert!(range_reqs(4096, 0, IoProvenance::Metadata).is_empty());
     }
 }

@@ -230,7 +230,12 @@ impl VectorIndex for SpannIndex {
             if self.lists[c].is_empty() {
                 continue;
             }
-            trace.push_read(range_reqs(self.list_offsets[c], self.list_bytes[c]));
+            // SPANN posting lists hold (id + full vector) entries.
+            trace.push_read(range_reqs(
+                self.list_offsets[c],
+                self.list_bytes[c],
+                sann_obs::IoProvenance::IvfPostingList,
+            ));
             for &id in &self.lists[c] {
                 topk.push(id, self.metric.distance(query, self.data.row(id as usize)));
             }

@@ -21,12 +21,53 @@ pub struct IoReq {
     pub offset: u64,
     /// Request length in bytes.
     pub len: u32,
+    /// Payload bytes the search actually needs out of this request —
+    /// `len` minus sector padding and alignment slop. Read amplification
+    /// per run is `fetched bytes / needed bytes`; the layouts set this
+    /// exactly (a 3332 B node record fetched as one 4 KiB sector needs
+    /// 3332 of the 4096 bytes).
+    pub needed: u32,
+    /// What the bytes are (graph adjacency, posting list, ...). Threaded
+    /// through the engine into `ssdsim::IoEvent` and the obs `IoSpan` so
+    /// per-run I/O breaks down by what each read fetched.
+    pub provenance: sann_obs::IoProvenance,
 }
 
 impl IoReq {
-    /// Creates a request.
+    /// Creates an untagged request: default (metadata) provenance and
+    /// every fetched byte counted as needed.
     pub fn new(offset: u64, len: u32) -> Self {
-        IoReq { offset, len }
+        IoReq {
+            offset,
+            len,
+            needed: len,
+            provenance: sann_obs::IoProvenance::default(),
+        }
+    }
+
+    /// Creates a fully tagged request.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `needed <= len` — a request can never need more
+    /// bytes than it fetches.
+    pub fn tagged(offset: u64, len: u32, needed: u32, provenance: sann_obs::IoProvenance) -> Self {
+        debug_assert!(needed <= len, "needed bytes exceed request length");
+        IoReq {
+            offset,
+            len,
+            needed,
+            provenance,
+        }
+    }
+
+    /// The same request at a shifted offset (beam replication onto
+    /// distinct device regions), tags preserved.
+    pub fn shifted(self, delta: u64) -> Self {
+        IoReq {
+            offset: self.offset + delta,
+            ..self
+        }
     }
 }
 
@@ -223,7 +264,7 @@ impl QueryTrace {
                         if !r.offset.is_multiple_of(SECTOR_BYTES) {
                             return bad(i, format!("unaligned read at offset {}", r.offset));
                         }
-                        if r.len == 0 || !(r.len as u64).is_multiple_of(SECTOR_BYTES) {
+                        if r.len == 0 || !u64::from(r.len).is_multiple_of(SECTOR_BYTES) {
                             return bad(i, format!("non-sector read length {}", r.len));
                         }
                     }

@@ -42,6 +42,16 @@ fn push_span_event(out: &mut String, s: &Span, ph: char) {
     ));
 }
 
+/// Renders the provenance attribute of an I/O span as an extra JSON field
+/// (leading comma included), or `""` for the default tag — so untagged
+/// exports stay byte-identical to pre-provenance builds.
+fn prov_args(io: &IoSpan) -> String {
+    if io.provenance == crate::IoProvenance::default() {
+        return String::new();
+    }
+    format!(",\"prov\":\"{}\"", io.provenance.name())
+}
+
 /// Renders the fault attributes of an I/O span as extra JSON fields
 /// (leading comma included), or `""` when every attribute has its
 /// fault-free default — so fault-free exports stay byte-identical to
@@ -67,7 +77,7 @@ fn push_io_event(out: &mut String, io: &IoSpan) {
     let op = if io.write { "write" } else { "read" };
     out.push_str(&format!(
         "{{\"name\":\"{} {}B\",\"cat\":\"io\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
-         \"args\":{{\"offset\":{},\"len\":{}{}}}}}",
+         \"args\":{{\"offset\":{},\"len\":{}{}{}}}}}",
         op,
         io.len,
         fmt_us(io.start_ns),
@@ -75,6 +85,7 @@ fn push_io_event(out: &mut String, io: &IoSpan) {
         io.query,
         io.offset,
         io.len,
+        prov_args(io),
         fault_args(io)
     ));
 }
@@ -181,7 +192,7 @@ pub fn jsonl(trace: &Trace) -> String {
     for io in &trace.io {
         out.push_str(&format!(
             "{{\"type\":\"io\",\"owner\":{},\"query\":{},\"op\":\"{}\",\"offset\":{},\
-             \"len\":{},\"start_ns\":{},\"end_ns\":{}{}}}\n",
+             \"len\":{},\"start_ns\":{},\"end_ns\":{}{}{}}}\n",
             io.owner.0,
             io.query,
             if io.write { "write" } else { "read" },
@@ -189,6 +200,7 @@ pub fn jsonl(trace: &Trace) -> String {
             io.len,
             io.start_ns,
             io.end_ns,
+            prov_args(io),
             fault_args(io)
         ));
     }
@@ -219,6 +231,7 @@ mod tests {
             offset: 4096,
             len: 4096,
             write: false,
+            provenance: Default::default(),
             attempt: 0,
             hedged: false,
             outcome: crate::span::IoOutcome::Ok,
@@ -326,6 +339,7 @@ mod tests {
             offset: 0,
             len: 4096,
             write: false,
+            provenance: Default::default(),
             attempt: 2,
             hedged: true,
             outcome: IoOutcome::Error,
@@ -336,5 +350,34 @@ mod tests {
         assert!(out.contains("\"attempt\":2,\"hedged\":true,\"outcome\":\"error\""));
         let chrome = chrome_trace(&trace);
         assert!(chrome.contains(",\"attempt\":2,\"hedged\":true,\"outcome\":\"error\"}"));
+    }
+
+    #[test]
+    fn provenance_attribute_appears_only_when_tagged() {
+        use crate::IoProvenance;
+        // Default-tagged (metadata) traces export no provenance field.
+        let clean = jsonl(&sample_trace());
+        assert!(!clean.contains("prov"));
+        assert!(!chrome_trace(&sample_trace()).contains("prov"));
+        // A tagged read renders the attribute in both exporters.
+        let mut t = Tracer::new(TraceLevel::Io);
+        let q = t.begin_span(SpanId::NONE, 0, SpanName::Query { plan: 0 }, 0);
+        t.io_span(IoSpan {
+            owner: q,
+            query: 0,
+            start_ns: 0,
+            end_ns: 10,
+            offset: 0,
+            len: 4096,
+            write: false,
+            provenance: IoProvenance::GraphAdjacency,
+            attempt: 0,
+            hedged: false,
+            outcome: crate::span::IoOutcome::Ok,
+        });
+        t.end_span(q, 10);
+        let trace = t.finish(10);
+        assert!(jsonl(&trace).contains(",\"prov\":\"graph-adjacency\"}"));
+        assert!(chrome_trace(&trace).contains(",\"prov\":\"graph-adjacency\"}"));
     }
 }

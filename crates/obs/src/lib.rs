@@ -25,6 +25,14 @@
 //!   `trace.json` ([`export::chrome_trace`]) and line-oriented JSONL
 //!   ([`export::jsonl`]). Byte-identical across identical-seed runs; the
 //!   `sann-xtask lint --determinism` audit diffs them byte for byte.
+//! * [`provenance`] — the [`IoProvenance`] tag every index-layer read
+//!   request carries (graph adjacency, vector block, posting list, PQ
+//!   codes, metadata), threaded through the engine and device model so
+//!   I/Os-per-query can be broken down by *what the read fetched*.
+//! * [`timeline`] — fixed-window aggregation ([`Timeline`]) over the
+//!   simulated clock, with the trailing-partial-bucket width defined
+//!   once for every rate/mean/utilization series (Fig. 5 bandwidth,
+//!   iostat queue depth and device utilization).
 //!
 //! All timestamps are `u64` nanoseconds of *simulated* time — this crate
 //! never reads the wall clock, uses no randomness, and iterates only
@@ -48,11 +56,15 @@
 
 pub mod export;
 pub mod hist;
+pub mod provenance;
 pub mod registry;
 pub mod span;
+pub mod timeline;
 
 pub use hist::LogHistogram;
+pub use provenance::IoProvenance;
 pub use registry::{PhaseBreakdown, Registry};
 pub use span::{
     IoOutcome, IoSpan, Phase, Span, SpanId, SpanName, Trace, TraceLevel, TraceSink, Tracer,
 };
+pub use timeline::Timeline;

@@ -258,6 +258,10 @@ pub struct IoSpan {
     pub len: u32,
     /// `true` for writes, `false` for reads.
     pub write: bool,
+    /// What the bytes are (graph adjacency, posting list, ...). Exporters
+    /// append the attribute only for non-default tags, keeping untagged
+    /// exports byte-identical to pre-provenance builds.
+    pub provenance: crate::IoProvenance,
     /// Retry ordinal of this attempt (0 = first try; fault runs only).
     pub attempt: u8,
     /// Whether this attempt is a hedged duplicate (fault runs only).
@@ -497,6 +501,7 @@ mod tests {
             offset: 4096,
             len: 4096,
             write: false,
+            provenance: Default::default(),
             attempt: 0,
             hedged: false,
             outcome: IoOutcome::Ok,
@@ -533,6 +538,7 @@ mod tests {
             offset: 0,
             len: 512,
             write: false,
+            provenance: Default::default(),
             attempt: 0,
             hedged: false,
             outcome: IoOutcome::Ok,

@@ -101,6 +101,14 @@ pub struct DeviceSim {
     completed: u64,
     /// Total bytes transferred.
     bytes: u64,
+    /// Queue-depth samples: (arrival ns, flash units busy at arrival),
+    /// one per scheduled request — DES event granularity.
+    qd_samples: Vec<(u64, u32)>,
+    /// Media-occupancy samples: (media start ns, media busy ns) per
+    /// request, for the utilization timeline.
+    busy_samples: Vec<(u64, u64)>,
+    /// Total media-busy nanoseconds accumulated across all units.
+    busy_ns_total: u64,
 }
 
 const NS_PER_US: f64 = 1_000.0;
@@ -118,6 +126,9 @@ impl DeviceSim {
             bus_free_ns: 0,
             completed: 0,
             bytes: 0,
+            qd_samples: Vec::new(),
+            busy_samples: Vec::new(),
+            busy_ns_total: 0,
         }
     }
 
@@ -149,6 +160,16 @@ impl DeviceSim {
 
     fn schedule_op(&mut self, arrival_us: f64, len: u32, media_us: f64) -> f64 {
         let arrival_ns = cast::u64_from_f64((arrival_us * NS_PER_US).round().max(0.0));
+        // Telemetry: queue depth at arrival = units still busy past this
+        // instant. Heap iteration order is irrelevant to a count, and the
+        // heap never exceeds `model.units` (≤ 64 for every preset).
+        let busy_units = self
+            .units
+            .iter()
+            .filter(|std::cmp::Reverse(t)| *t > arrival_ns)
+            .count();
+        self.qd_samples
+            .push((arrival_ns, cast::u32_from_usize(busy_units)));
         // Media stage on the earliest-free unit. The constructor guarantees
         // at least one flash unit; if that invariant ever broke, treating
         // the unit as immediately free keeps the completion path panic-free
@@ -163,6 +184,9 @@ impl DeviceSim {
         let media_start = arrival_ns.max(unit_free);
         let media_done = media_start + cast::u64_from_f64(media_us * NS_PER_US);
         self.units.push(std::cmp::Reverse(media_done));
+        self.busy_samples
+            .push((media_start, media_done - media_start));
+        self.busy_ns_total += media_done - media_start;
         // Bus stage, FIFO.
         let transfer_ns =
             cast::u64_from_f64((f64::from(len) / self.model.device_bw * NS_PER_US).ceil());
@@ -182,6 +206,57 @@ impl DeviceSim {
     /// Total bytes transferred so far.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Mean queue depth over every scheduled request: how many flash
+    /// units were already busy when each request arrived (0 with no
+    /// traffic).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.qd_samples.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.qd_samples.iter().map(|&(_, d)| u64::from(d)).sum();
+        sum as f64 / cast::f64_from_usize(self.qd_samples.len())
+    }
+
+    /// Mean device utilization over `duration_us`: media-busy time summed
+    /// across all flash units divided by total unit-time (0.0 for a
+    /// non-positive duration).
+    pub fn utilization(&self, duration_us: f64) -> f64 {
+        if duration_us <= 0.0 {
+            return 0.0;
+        }
+        let unit_time_ns = cast::f64_from_usize(self.model.units.max(1)) * duration_us * NS_PER_US;
+        cast::f64_from_u64(self.busy_ns_total) / unit_time_ns
+    }
+
+    /// Windowed mean queue depth (one value per `bucket_us` window; empty
+    /// for a non-positive duration).
+    pub fn queue_depth_timeline(&self, duration_us: f64, bucket_us: f64) -> Vec<f64> {
+        let Some(mut tl) = sann_obs::Timeline::new(duration_us, bucket_us) else {
+            return Vec::new();
+        };
+        for &(t_ns, depth) in &self.qd_samples {
+            tl.record(cast::f64_from_u64(t_ns) / NS_PER_US, f64::from(depth));
+        }
+        tl.means()
+    }
+
+    /// Windowed device utilization (busy fraction of total unit-time per
+    /// `bucket_us` window; empty for a non-positive duration). Each
+    /// request's media occupancy is billed to the window it starts in.
+    pub fn utilization_timeline(&self, duration_us: f64, bucket_us: f64) -> Vec<f64> {
+        let Some(mut tl) = sann_obs::Timeline::new(duration_us, bucket_us) else {
+            return Vec::new();
+        };
+        for &(t_ns, busy_ns) in &self.busy_samples {
+            tl.record(
+                cast::f64_from_u64(t_ns) / NS_PER_US,
+                cast::f64_from_u64(busy_ns) / NS_PER_US,
+            );
+        }
+        let units = cast::f64_from_usize(self.model.units.max(1));
+        tl.fractions_of_window().iter().map(|f| f / units).collect()
     }
 
     /// Resets the device to idle (keeps the model).
@@ -323,7 +398,66 @@ mod tests {
         dev.schedule(0.0, 4096);
         dev.reset();
         assert_eq!(dev.completed(), 0);
+        assert_eq!(dev.mean_queue_depth(), 0.0);
+        assert_eq!(dev.utilization(1e6), 0.0);
         let done = dev.schedule(0.0, 4096);
         assert!(done < 100.0);
+    }
+
+    #[test]
+    fn queue_depth_samples_at_arrival() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        // First arrival sees an idle device; the next 63 each see one more
+        // busy unit.
+        for _ in 0..64 {
+            dev.schedule(0.0, 4096);
+        }
+        // 0 + 1 + ... + 63 over 64 samples = 31.5.
+        assert!((dev.mean_queue_depth() - 31.5).abs() < 1e-9);
+        let tl = dev.queue_depth_timeline(1e6, 1e6);
+        assert_eq!(tl.len(), 1);
+        assert!((tl[0] - 31.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_device_reports_zero_telemetry() {
+        let dev = DeviceSim::new(SsdModel::samsung_990_pro());
+        assert_eq!(dev.mean_queue_depth(), 0.0);
+        assert_eq!(dev.utilization(1e6), 0.0);
+        assert_eq!(dev.utilization(0.0), 0.0, "zero duration guarded");
+        assert!(dev.queue_depth_timeline(0.0, 1e6).is_empty());
+        assert!(dev.utilization_timeline(-1.0, 1e6).is_empty());
+    }
+
+    #[test]
+    fn utilization_tracks_media_occupancy() {
+        let m = SsdModel::samsung_990_pro();
+        let mut dev = DeviceSim::new(m);
+        // One read occupies one of 64 units for base_latency_us out of a
+        // 4800 µs window: utilization = 48 / (64 * 4800).
+        dev.schedule(0.0, 4096);
+        let expect = m.base_latency_us / (64.0 * 4800.0);
+        assert!((dev.utilization(4800.0) - expect).abs() < 1e-9);
+        let tl = dev.utilization_timeline(4800.0, 4800.0);
+        assert_eq!(tl.len(), 1);
+        assert!((tl[0] - expect).abs() < 1e-9);
+        // Saturating all units for the whole window approaches 1.0.
+        let mut busy = DeviceSim::new(m);
+        let horizon = 10_000.0;
+        let mut completions: Vec<f64> = (0..64).map(|_| busy.schedule(0.0, 4096)).collect();
+        loop {
+            let (i, &t) = completions
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            if t > horizon {
+                break;
+            }
+            completions[i] = busy.schedule(t, 4096);
+        }
+        let util = busy.utilization(horizon);
+        assert!(util > 0.9, "saturated device reads {util}");
     }
 }

@@ -2,6 +2,8 @@
 //! probe on `block_rq_issue` (§III-A): for every request issued to the
 //! device it records the timestamp, operation, offset, and size.
 
+use sann_core::cast;
+use sann_obs::{IoProvenance, Timeline};
 use std::collections::BTreeMap;
 
 /// Type of a block request.
@@ -28,6 +30,13 @@ pub struct IoEvent {
     pub offset: u64,
     /// Request size in bytes.
     pub len: u32,
+    /// Payload bytes the issuer actually needs out of this request
+    /// (`len` minus sector padding; equals `len` for untagged callers).
+    pub needed: u32,
+    /// What the bytes are — threaded down from the index layer's
+    /// [`IoReq`](sann_obs::IoProvenance) tags so block-level accounting
+    /// can break down by what each read fetched.
+    pub provenance: IoProvenance,
     /// The span that issued this request (a `sann-obs` span id), or
     /// [`NO_OWNER`]. Lets exported timelines nest block I/O under the
     /// owning query.
@@ -56,24 +65,57 @@ impl IoTracer {
         self.record_write_owned(time_us, offset, len, NO_OWNER);
     }
 
-    /// Records a read issue tagged with the owning span.
+    /// Records a read issue tagged with the owning span (untagged
+    /// provenance, every byte needed).
     pub fn record_read_owned(&mut self, time_us: f64, offset: u64, len: u32, owner: u64) {
+        self.record_read_tagged(time_us, offset, len, len, IoProvenance::default(), owner);
+    }
+
+    /// Records a write issue tagged with the owning span (untagged
+    /// provenance, every byte needed).
+    pub fn record_write_owned(&mut self, time_us: f64, offset: u64, len: u32, owner: u64) {
+        self.record_write_tagged(time_us, offset, len, len, IoProvenance::default(), owner);
+    }
+
+    /// Records a fully tagged read issue: provenance plus the payload
+    /// bytes the issuer needs out of the fetched `len`.
+    pub fn record_read_tagged(
+        &mut self,
+        time_us: f64,
+        offset: u64,
+        len: u32,
+        needed: u32,
+        provenance: IoProvenance,
+        owner: u64,
+    ) {
         self.events.push(IoEvent {
             time_us,
             op: IoOp::Read,
             offset,
             len,
+            needed,
+            provenance,
             owner,
         });
     }
 
-    /// Records a write issue tagged with the owning span.
-    pub fn record_write_owned(&mut self, time_us: f64, offset: u64, len: u32, owner: u64) {
+    /// Records a fully tagged write issue.
+    pub fn record_write_tagged(
+        &mut self,
+        time_us: f64,
+        offset: u64,
+        len: u32,
+        needed: u32,
+        provenance: IoProvenance,
+        owner: u64,
+    ) {
         self.events.push(IoEvent {
             time_us,
             op: IoOp::Write,
             offset,
             len,
+            needed,
+            provenance,
             owner,
         });
     }
@@ -100,12 +142,18 @@ impl IoTracer {
         let mut write_bytes = 0u64;
         let mut reads = 0u64;
         let mut writes = 0u64;
+        let mut needed_read_bytes = 0u64;
+        let mut prov_reads = [0u64; IoProvenance::COUNT];
+        let mut prov_read_bytes = [0u64; IoProvenance::COUNT];
         for e in &self.events {
             *size_histogram.entry(e.len).or_insert(0u64) += 1;
             match e.op {
                 IoOp::Read => {
                     reads += 1;
                     read_bytes += e.len as u64;
+                    needed_read_bytes += u64::from(e.needed);
+                    prov_reads[e.provenance.index()] += 1;
+                    prov_read_bytes[e.provenance.index()] += u64::from(e.len);
                 }
                 IoOp::Write => {
                     writes += 1;
@@ -118,6 +166,9 @@ impl IoTracer {
             writes,
             read_bytes,
             write_bytes,
+            needed_read_bytes,
+            prov_reads,
+            prov_read_bytes,
             size_histogram,
         }
     }
@@ -126,29 +177,55 @@ impl IoTracer {
     /// paper's Fig. 5. `duration_us` fixes the number of buckets (a trailing
     /// partial second is scaled by its actual width).
     pub fn bandwidth_timeline(&self, duration_us: f64) -> Vec<f64> {
-        if duration_us <= 0.0 {
+        // The trailing-partial-bucket width lives in `sann_obs::Timeline`,
+        // shared with the iostat queue-depth/utilization series.
+        let Some(mut tl) = Timeline::new(duration_us, 1e6) else {
             return Vec::new();
-        }
-        let n_buckets = (duration_us / 1e6).ceil() as usize;
-        let mut bytes = vec![0u64; n_buckets];
+        };
         for e in &self.events {
             if e.op != IoOp::Read || e.time_us < 0.0 || e.time_us >= duration_us {
                 continue;
             }
-            bytes[(e.time_us / 1e6) as usize] += e.len as u64;
+            tl.record(e.time_us, e.len as f64);
         }
-        bytes
+        tl.rates_per_s()
             .iter()
-            .enumerate()
-            .map(|(i, &b)| {
-                let width_us = if i + 1 == n_buckets {
-                    duration_us - i as f64 * 1e6
-                } else {
-                    1e6
-                };
-                b as f64 / (1 << 20) as f64 / (width_us / 1e6)
-            })
+            .map(|b| b / (1 << 20) as f64)
             .collect()
+    }
+
+    /// Per-4-KiB-page device-read access counts (page index = byte offset
+    /// / 4096; a 128 KiB request touches 32 pages). The raw heat map
+    /// behind the hot-page-skew metric.
+    pub fn page_heat(&self) -> BTreeMap<u64, u64> {
+        let mut heat = BTreeMap::new();
+        for e in &self.events {
+            if e.op != IoOp::Read {
+                continue;
+            }
+            let first = e.offset / 4096;
+            let last = (e.offset + u64::from(e.len.max(1)) - 1) / 4096;
+            for page in first..=last {
+                *heat.entry(page).or_insert(0u64) += 1;
+            }
+        }
+        heat
+    }
+
+    /// Hot-page skew: the fraction of page accesses served by the hottest
+    /// 10 % of touched pages (0.1 = perfectly uniform, → 1.0 = a few pages
+    /// absorb everything). 0.0 when no reads were traced.
+    pub fn hot_page_skew(&self) -> f64 {
+        let heat = self.page_heat();
+        if heat.is_empty() {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = heat.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top = counts.len().div_ceil(10);
+        let hot: u64 = counts[..top].iter().sum();
+        cast::f64_from_u64(hot) / cast::f64_from_u64(total)
     }
 
     /// Mean read bandwidth in MiB/s over `duration_us`.
@@ -182,11 +259,30 @@ pub struct IoStats {
     pub read_bytes: u64,
     /// Total bytes written.
     pub write_bytes: u64,
+    /// Payload bytes the issuers actually needed out of `read_bytes`
+    /// (read amplification denominator).
+    pub needed_read_bytes: u64,
+    /// Read-request counts per provenance tag, indexed by
+    /// [`IoProvenance::index`]. Sums to `reads` exactly (the engine's
+    /// provenance-conservation tests audit this end to end).
+    pub prov_reads: [u64; IoProvenance::COUNT],
+    /// Read bytes per provenance tag; sums to `read_bytes` exactly.
+    pub prov_read_bytes: [u64; IoProvenance::COUNT],
     /// Request-size histogram (size → count), both ops combined.
     pub size_histogram: BTreeMap<u32, u64>,
 }
 
 impl IoStats {
+    /// Read amplification: bytes fetched from the device over bytes the
+    /// searches actually needed (≥ 1 for any tagged workload; 0.0 when no
+    /// bytes were needed, i.e. no reads were traced).
+    pub fn read_amplification(&self) -> f64 {
+        if self.needed_read_bytes == 0 {
+            return 0.0;
+        }
+        cast::f64_from_u64(self.read_bytes) / cast::f64_from_u64(self.needed_read_bytes)
+    }
+
     /// Fraction of requests with size exactly `len` (the paper's O-15 checks
     /// this for 4 KiB).
     pub fn size_fraction(&self, len: u32) -> f64 {
@@ -307,6 +403,98 @@ mod tests {
             4096
         );
         assert_eq!(h.nonzero_buckets(), vec![(4096, 3), (8192, 1)]);
+    }
+
+    #[test]
+    fn zero_event_size_fraction_is_zero() {
+        // Satellite guard: an empty trace must not divide by zero.
+        let stats = IoTracer::new().stats();
+        assert_eq!(stats.size_fraction(4096), 0.0);
+        assert_eq!(stats.reads, 0);
+        assert_eq!(stats.read_amplification(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_bandwidth_is_guarded() {
+        // Satellite guard: zero / negative duration yields 0.0 and an
+        // empty timeline instead of a NaN or a panic.
+        let t = sample_tracer();
+        assert_eq!(t.mean_read_bandwidth(0.0), 0.0);
+        assert_eq!(t.mean_read_bandwidth(-5.0), 0.0);
+        assert!(t.bandwidth_timeline(0.0).is_empty());
+        assert!(t.bandwidth_timeline(-1.0).is_empty());
+        // And an empty tracer over a real window reads 0 MiB/s.
+        assert_eq!(IoTracer::new().mean_read_bandwidth(1e6), 0.0);
+    }
+
+    #[test]
+    fn provenance_tags_aggregate_per_tag() {
+        let mut t = IoTracer::new();
+        t.record_read_tagged(0.0, 0, 4096, 3332, IoProvenance::GraphAdjacency, 1);
+        t.record_read_tagged(1.0, 4096, 4096, 3332, IoProvenance::GraphAdjacency, 1);
+        t.record_read_tagged(2.0, 8192, 8192, 6000, IoProvenance::PqCodes, 2);
+        t.record_write_tagged(3.0, 0, 4096, 4096, IoProvenance::GraphAdjacency, 1);
+        let stats = t.stats();
+        assert_eq!(stats.prov_reads[IoProvenance::GraphAdjacency.index()], 2);
+        assert_eq!(stats.prov_reads[IoProvenance::PqCodes.index()], 1);
+        assert_eq!(
+            stats.prov_read_bytes[IoProvenance::GraphAdjacency.index()],
+            8192
+        );
+        // Conservation: per-tag totals sum exactly to the raw totals.
+        assert_eq!(stats.prov_reads.iter().sum::<u64>(), stats.reads);
+        assert_eq!(stats.prov_read_bytes.iter().sum::<u64>(), stats.read_bytes);
+        // Writes do not leak into the read breakdown.
+        assert_eq!(stats.write_bytes, 4096);
+        // Read amplification: fetched / needed.
+        let expect = (4096.0 + 4096.0 + 8192.0) / (3332.0 + 3332.0 + 6000.0);
+        assert!((stats.read_amplification() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untagged_reads_default_to_metadata_with_full_need() {
+        let stats = sample_tracer().stats();
+        assert_eq!(
+            stats.prov_reads[IoProvenance::Metadata.index()],
+            stats.reads
+        );
+        assert_eq!(stats.needed_read_bytes, stats.read_bytes);
+        assert!((stats.read_amplification() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn page_heat_counts_every_touched_page() {
+        let mut t = IoTracer::new();
+        t.record_read(0.0, 0, 4096);
+        t.record_read(1.0, 0, 4096);
+        t.record_read(2.0, 8192, 8192); // pages 2 and 3
+        t.record_write(3.0, 0, 4096); // writes are not read heat
+        let heat = t.page_heat();
+        assert_eq!(heat[&0], 2);
+        assert_eq!(heat[&2], 1);
+        assert_eq!(heat[&3], 1);
+        assert_eq!(heat.len(), 3);
+    }
+
+    #[test]
+    fn hot_page_skew_separates_uniform_from_skewed() {
+        // Uniform: 20 pages touched once each → top 10% holds 2/20.
+        let mut uniform = IoTracer::new();
+        for i in 0..20u64 {
+            uniform.record_read(i as f64, i * 4096, 4096);
+        }
+        assert!((uniform.hot_page_skew() - 0.1).abs() < 1e-12);
+        // Skewed: one page absorbs most accesses.
+        let mut skewed = IoTracer::new();
+        for i in 0..20u64 {
+            skewed.record_read(i as f64, 0, 4096);
+        }
+        for i in 0..5u64 {
+            skewed.record_read(100.0 + i as f64, (i + 1) * 4096, 4096);
+        }
+        assert!(skewed.hot_page_skew() > 0.7);
+        // Empty trace: no skew, not NaN.
+        assert_eq!(IoTracer::new().hot_page_skew(), 0.0);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! Values are calibrated so the *relative shapes* of Figs. 2–4 hold; see
 //! EXPERIMENTS.md for the calibration notes.
 
-use sann_engine::{CostModel, FaultConfig, FaultProfile, PlanBuilder, RetryPolicy};
+use sann_engine::{
+    CostModel, DeviceCostModel, FaultConfig, FaultProfile, PlanBuilder, QueryLedger, RetryPolicy,
+    RunMetrics,
+};
 
 /// Execution-architecture model of one database.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -196,6 +199,21 @@ impl DbProfile {
             ..FaultConfig::default()
         }
     }
+
+    /// Prices a run of this database on `device`: the $/query ledger of
+    /// [`DeviceCostModel::price`], surfaced at the profile layer so cost
+    /// reporting flows through the same interface as every other run
+    /// parameter. Fault profiles compose automatically — a degraded device
+    /// completes fewer queries against the same amortized spend, so its
+    /// $/query is strictly worse.
+    pub fn ledger(
+        &self,
+        metrics: &RunMetrics,
+        cores: usize,
+        device: DeviceCostModel,
+    ) -> QueryLedger {
+        device.price(metrics, cores)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +281,40 @@ mod tests {
             .fault_config(FaultProfile::none())
             .profile
             .active());
+    }
+
+    #[test]
+    fn aging_device_prices_worse_per_query() {
+        use sann_engine::{Executor, QueryPlan, RunConfig, Segment};
+        use sann_index::IoReq;
+        let plan = QueryPlan::new(vec![
+            Segment::cpu(20.0),
+            Segment::io(vec![IoReq::new(0, 4096), IoReq::new(8192, 4096)]),
+        ]);
+        let profile = DbProfile::milvus();
+        let run = |fp: FaultProfile| {
+            let config = RunConfig {
+                cores: 4,
+                concurrency: 4,
+                duration_us: 0.2e6,
+                faults: profile.fault_config(fp),
+                ..RunConfig::default()
+            };
+            Executor::new(config).run(std::slice::from_ref(&plan))
+        };
+        let healthy = run(FaultProfile::none());
+        let aging = run(FaultProfile::aging());
+        let device = DeviceCostModel::samsung_990_pro();
+        let healthy_ledger = profile.ledger(&healthy, 4, device);
+        let aging_ledger = profile.ledger(&aging, 4, device);
+        assert!(aging.completed < healthy.completed, "aging throttles reads");
+        assert!(
+            aging_ledger.usd_per_query() > healthy_ledger.usd_per_query(),
+            "fewer queries over the same amortized window must cost more \
+             per query: {} vs {}",
+            aging_ledger.usd_per_query(),
+            healthy_ledger.usd_per_query()
+        );
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! contract — a timeline that changes between identical-seed runs is as
 //! much a bug as a drifting QPS number.
 //!
+//! Each pass also renders the `vdbbench iostat` report (per-provenance
+//! breakdown, queue-depth/utilization timelines, $/query ledger under
+//! healthy and aging devices) and byte-diffs the report text plus all four
+//! CSV exports across passes.
+//!
 //! Finally the audit sweeps twice more with the persistent artifact cache
 //! enabled against a scratch directory — once cold (populating it) and once
 //! warm (replaying prep from disk) — and demands both match the uncached
@@ -233,5 +238,35 @@ fn sweep(
             bytes: traced.registry.canonical_bytes(),
         });
     }
+    // The iostat report — provenance breakdown, device telemetry, and the
+    // $/query ledger under healthy + aging devices — is part of the
+    // determinism contract too: the rendered text and every CSV export
+    // must replay byte-for-byte across passes.
+    let results_dir =
+        std::env::temp_dir().join(format!("sann-determinism-iostat-{}", std::process::id()));
+    ctx.results_dir.clone_from(&results_dir);
+    let args: Vec<String> = ["iostat", "--clients", "4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let report = sann_bench::iostat::run(&mut ctx, &args).map_err(|e| format!("iostat: {e}"))?;
+    cells.push(Cell {
+        label: format!("{}/iostat/report", spec.name),
+        bytes: report.into_bytes(),
+    });
+    for name in [
+        "iostat_provenance.csv",
+        "iostat_characterization.csv",
+        "iostat_cost.csv",
+        "iostat_timeline.csv",
+    ] {
+        let bytes = std::fs::read(results_dir.join(name))
+            .map_err(|e| format!("iostat export {name}: {e}"))?;
+        cells.push(Cell {
+            label: format!("{}/iostat/{name}", spec.name),
+            bytes,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&results_dir);
     Ok(cells)
 }

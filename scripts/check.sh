@@ -34,6 +34,12 @@ cargo test -q -p sann-engine --test trace_golden
 echo "==> fault-injection histogram golden files"
 cargo test -q -p sann-engine --test fault_golden
 
+echo "==> observability overhead gate (BENCH_obs.json)"
+# Asserts span tracing at level `run` and provenance tagging each cost
+# < 2% over the untraced/untagged hot loop, and archives the measured
+# numbers at the workspace root.
+cargo bench -q -p sann-bench --bench obs_overhead
+
 echo "==> vdbbench cold/warm artifact-cache invariance"
 cargo build -q --release -p sann-bench
 tmp="$(mktemp -d)"
@@ -48,5 +54,15 @@ if grep -E '^\[prep\]' "$tmp/warm.err"; then
     exit 1
 fi
 echo "warm table2 replayed from cache: identical CSVs, zero [prep] lines"
+
+echo "==> vdbbench iostat double-run byte-stability"
+# The I/O characterization report — provenance breakdown, telemetry
+# timelines, and the $/query ledger under healthy + aging devices — must
+# be byte-identical across runs, stdout and every CSV alike.
+"$bin" --cache-dir "$tmp/cache" --results "$tmp/iostat-a" --scale 0.001 --dataset cohere-s --duration-secs 0.2 iostat --clients 4 >"$tmp/iostat-a.out" 2>/dev/null
+"$bin" --cache-dir "$tmp/cache" --results "$tmp/iostat-b" --scale 0.001 --dataset cohere-s --duration-secs 0.2 iostat --clients 4 >"$tmp/iostat-b.out" 2>/dev/null
+diff -r "$tmp/iostat-a" "$tmp/iostat-b"
+diff "$tmp/iostat-a.out" "$tmp/iostat-b.out"
+echo "iostat double run: identical report and CSVs"
 
 echo "All checks passed."

@@ -78,15 +78,22 @@ fn layout_requests_are_aligned() {
         let node_bytes = g.u64_in(1, 20_000);
         let layout = DiskLayout::new(n_nodes, node_bytes, 0);
         let id = g.u64_in(0, n_nodes);
-        let reqs = layout.node_reqs(id);
+        let reqs = layout.node_reqs(id, sann::obs::IoProvenance::GraphAdjacency);
         assert!(!reqs.is_empty());
         let mut covered = 0u64;
+        let mut needed = 0u64;
         for r in &reqs {
             assert_eq!(r.offset % 4096, 0);
             assert_eq!(r.len, 4096);
+            assert_eq!(r.provenance, sann::obs::IoProvenance::GraphAdjacency);
             covered += r.len as u64;
+            needed += u64::from(r.needed);
         }
         assert!(covered >= node_bytes, "requests must cover the record");
+        assert!(
+            needed <= covered,
+            "needed bytes cannot exceed fetched bytes"
+        );
         assert!(layout.node_offset(id) + covered <= layout.end_offset());
     });
 }
