@@ -18,12 +18,13 @@
 //!   ext-spann     extension: DiskANN vs SPANN storage indexes (SII-B)
 //!   trace         one traced run: Perfetto trace.json/JSONL + latency breakdown
 //!   iostat        I/O characterization: provenance breakdown, telemetry, $/query
+//!   explore       I/O design-space sweep: layout x prefetch x pipelining
 //!   all           everything above in order
 //! ```
 
 use sann_bench::{
-    context::BenchContext, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6, fig7_11,
-    iostat, table1, table2, tracecmd,
+    context::BenchContext, explore, ext_filter, ext_rw, ext_spann, fig12_15, fig2_4, fig5_6,
+    fig7_11, iostat, table1, table2, tracecmd,
 };
 use sann_vdb::SetupKind;
 
@@ -46,7 +47,7 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
     match sub {
         "table2" | "fig2" | "fig3" | "fig4" | "all" => ctx.prefetch(&SetupKind::all())?,
         "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
-        | "fig14" | "fig15" => ctx.prefetch(&[SetupKind::MilvusDiskann])?,
+        | "fig14" | "fig15" | "explore" => ctx.prefetch(&[SetupKind::MilvusDiskann])?,
         _ => {}
     }
     match sub {
@@ -66,6 +67,7 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
         "ext-spann" => println!("{}", ext_spann::run(&mut ctx)?),
         "trace" => println!("{}", tracecmd::run(&mut ctx, &rest)?),
         "iostat" => println!("{}", iostat::run(&mut ctx, &rest)?),
+        "explore" => println!("{}", explore::run(&mut ctx, &rest)?),
         "all" => {
             println!("{}", table1::run(&ctx)?);
             println!("{}", table2::run(&mut ctx)?);
@@ -81,9 +83,10 @@ fn real_main(args: &[String]) -> sann_core::Result<()> {
             println!("{}", ext_spann::run(&mut ctx)?);
         }
         "help" | "--help" | "-h" => {
-            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--cache-dir DIR] [--no-cache] [--prep-threads N] [--trace-out PATH] [--trace-level off|run|query|io] [--fault-profile none|aging|gc-heavy|flaky] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|iostat|all>");
+            println!("usage: vdbbench [--scale X] [--cores N] [--duration-secs S] [--dataset NAME] [--results DIR] [--cache-dir DIR] [--no-cache] [--prep-threads N] [--trace-out PATH] [--trace-level off|run|query|io] [--fault-profile none|aging|gc-heavy|flaky] <table1|table2|fig2..fig15|ext-rw|ext-filter|ext-spann|trace|iostat|explore|all>");
             println!("  trace [--setup NAME] [--clients N]   export one traced run (Perfetto trace.json + JSONL) with a latency breakdown");
             println!("  iostat [--setup NAME] [--clients N] [--device 990-pro|sata]   per-provenance I/O breakdown, queue-depth/utilization timelines, read amplification, and the $/query ledger under healthy and aging devices");
+            println!("  explore [--setup NAME] [--clients N]   sweep the I/O design space ({{naive,paged}} layout x {{,look-ahead}} prefetch x {{phased,pipelined}} beam search) at fixed tuned knobs, reporting I/Os, device reads, read amplification, recall, and tail latency per strategy");
             println!("  prep artifacts (datasets, index builds, tuned knobs) persist under --cache-dir (default .sann-cache); warm runs skip prep entirely");
             println!("  --fault-profile injects deterministic SSD faults (read errors, latency spikes, GC pauses, throttling); each database reacts with its own retry/hedge/deadline policy and reports degraded-recall accounting");
             return Ok(());

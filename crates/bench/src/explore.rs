@@ -1,0 +1,372 @@
+//! `vdbbench explore` — the I/O design-space sweep (DESIGN.md §13).
+//!
+//! Runs one tuned setup's query set under every [`IoStrategy`] in
+//! {naive, paged} × {no-prefetch, look-ahead} × {phased, pipelined} and
+//! reports what each point of the design space buys: planned I/Os per
+//! query, device reads per query, read amplification, recall@10, and
+//! tail latency. The tuned search knobs are held fixed across the sweep
+//! (every strategy returns identical top-k — the equivalence property
+//! tests in `sann-index` enshrine this), so the deltas between rows are
+//! purely the I/O policy. Everything derives from deterministic
+//! simulation state, so the report — and the `explore_*.csv` files
+//! written under `--results` — is byte-identical across identical
+//! invocations.
+
+use crate::context::{BenchContext, K};
+use crate::report::{num, Table};
+use sann_core::{cast, Result};
+use sann_engine::{QueryPlan, RunMetrics};
+use sann_index::{IoStrategy, TraceStep};
+use sann_obs::Phase;
+use sann_vdb::SetupKind;
+
+/// Default setup to sweep: the storage-resident headline index (the only
+/// setup whose search path consults the on-disk graph, hence the only one
+/// the design space perturbs).
+const DEFAULT_SETUP: SetupKind = SetupKind::MilvusDiskann;
+
+/// Default closed-loop clients.
+const DEFAULT_CLIENTS: usize = 8;
+
+/// One point of the design space, fully measured.
+pub struct SweepRow {
+    /// The strategy this row measured.
+    pub strat: IoStrategy,
+    /// Recall@10 at the tuned knobs under this strategy.
+    pub recall: f64,
+    /// Mean trace-level read requests per query (before plan compilation).
+    pub trace_ios: f64,
+    /// Mean trace-level bytes read per query.
+    pub trace_bytes: f64,
+    /// Mean overlapped (in-flight-under-compute) steps per query.
+    pub overlap_steps: f64,
+    /// The engine run at the sweep's concurrency.
+    pub metrics: RunMetrics,
+}
+
+impl SweepRow {
+    /// Device reads per completed query (after the page cache).
+    pub fn device_reads_per_query(&self) -> f64 {
+        if self.metrics.completed == 0 {
+            0.0
+        } else {
+            cast::f64_from_u64(self.metrics.io_stats.reads)
+                / cast::f64_from_u64(self.metrics.completed)
+        }
+    }
+}
+
+/// Measures every strategy in [`IoStrategy::all`] on the first matching
+/// dataset: traces and recall at the setup's tuned knobs, compiled and
+/// executed under the setup's DB profile at `clients` closed-loop clients.
+///
+/// # Errors
+///
+/// Propagates build/tune/search errors, and rejects concurrencies the
+/// setup's profile does not support.
+pub fn sweep(ctx: &mut BenchContext, kind: SetupKind, clients: usize) -> Result<Vec<SweepRow>> {
+    let spec = ctx
+        .dataset_specs()
+        .into_iter()
+        .next()
+        .ok_or_else(|| sann_core::Error::invalid_parameter("args", "no dataset matches"))?;
+    let builder = ctx.plan_builder_for(&spec, kind);
+    // Collect per-strategy traces/recall/plans under one borrow of the
+    // prepared state, then run the (owned) plans afterwards.
+    let mut staged: Vec<(IoStrategy, f64, f64, f64, f64, Vec<QueryPlan>)> = Vec::new();
+    {
+        let (data, prepared) = ctx.dataset_and_setup(&spec, kind)?;
+        let n = data.queries.len().max(1) as f64;
+        for strat in IoStrategy::all() {
+            let params = prepared.setup.params.search_params().with_io(strat);
+            let traces =
+                prepared
+                    .setup
+                    .traces_with(prepared.index.as_ref(), &data.queries, K, &params)?;
+            let recall = prepared.setup.recall_with(
+                prepared.index.as_ref(),
+                &data.queries,
+                &data.truth,
+                K,
+                &params,
+            )?;
+            let ios = traces.iter().map(|t| t.io_count()).sum::<u64>();
+            let bytes = traces.iter().map(|t| t.read_bytes()).sum::<u64>();
+            let overlapped = traces
+                .iter()
+                .flat_map(|t| &t.steps)
+                .filter(|s| matches!(s, TraceStep::Overlapped { .. }))
+                .count();
+            staged.push((
+                strat,
+                recall,
+                cast::f64_from_u64(ios) / n,
+                cast::f64_from_u64(bytes) / n,
+                overlapped as f64 / n,
+                builder.build_all(&traces),
+            ));
+        }
+    }
+    let mut rows = Vec::with_capacity(staged.len());
+    for (strat, recall, trace_ios, trace_bytes, overlap_steps, plans) in staged {
+        let metrics = ctx.run(kind, &plans, clients).ok_or_else(|| {
+            sann_core::Error::invalid_parameter(
+                "args",
+                format!("{} does not support {clients} clients", kind.name()),
+            )
+        })?;
+        rows.push(SweepRow {
+            strat,
+            recall,
+            trace_ios,
+            trace_bytes,
+            overlap_steps,
+            metrics,
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the subcommand. `rest` holds flags `from_args` did not consume:
+/// `--setup NAME` and `--clients N`.
+///
+/// # Errors
+///
+/// Returns [`sann_core::Error::InvalidParameter`] on malformed flags and
+/// propagates build/search/filesystem errors.
+pub fn run(ctx: &mut BenchContext, rest: &[String]) -> Result<String> {
+    let (kind, clients) = parse_flags(rest)?;
+    let spec_name = ctx
+        .dataset_specs()
+        .into_iter()
+        .next()
+        .map(|s| s.name)
+        .unwrap_or_default();
+    let rows = sweep(ctx, kind, clients)?;
+
+    let mut table = Table::new([
+        "strategy",
+        "trace_ios_q",
+        "overlap_steps_q",
+        "recall",
+        "ios_q",
+        "device_reads_q",
+        "read_amp",
+        "qps",
+        "mean_us",
+        "p99_us",
+    ]);
+    for r in &rows {
+        let m = &r.metrics;
+        table.row([
+            r.strat.label(),
+            format!("{:.2}", r.trace_ios),
+            format!("{:.2}", r.overlap_steps),
+            format!("{:.4}", r.recall),
+            format!("{:.2}", m.ios_per_query),
+            format!("{:.2}", r.device_reads_per_query()),
+            format!("{:.4}", m.read_amplification()),
+            num(m.qps),
+            num(m.mean_latency_us),
+            num(m.p99_latency_us),
+        ]);
+    }
+
+    // Where each strategy's time goes: the pipelined rows shift flash
+    // service into compute (I/O hidden under distance evaluation) — the
+    // attribution the executor asserts sums to latency exactly.
+    let mut phases = Table::new([
+        "strategy",
+        "queue_wait_us",
+        "compute_us",
+        "beam_issue_us",
+        "flash_service_us",
+        "cache_hit_us",
+        "rerank_us",
+        "delay_us",
+    ]);
+    for r in &rows {
+        let b = &r.metrics.phase_breakdown;
+        let mut cells = vec![r.strat.label()];
+        cells.extend(Phase::ALL.iter().map(|p| format!("{:.2}", b.mean_us(*p))));
+        phases.row(cells);
+    }
+
+    ctx.write_csv("explore_sweep.csv", &table.to_csv())?;
+    ctx.write_csv("explore_phases.csv", &phases.to_csv())?;
+
+    let mut out = format!(
+        "I/O design-space sweep: {} on {spec_name} at {clients} clients\n\
+         (layout x prefetch x pipelining; tuned knobs held fixed)\n\n",
+        kind.name(),
+    );
+    out.push_str(&table.to_text());
+    out.push_str("\nPer-query phase attribution (mean µs):\n");
+    out.push_str(&phases.to_text());
+    Ok(out)
+}
+
+fn parse_flags(rest: &[String]) -> Result<(SetupKind, usize)> {
+    let mut kind = DEFAULT_SETUP;
+    let mut clients = DEFAULT_CLIENTS;
+    let mut it = rest.iter().skip_while(|a| a.as_str() != "explore").skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--setup" => {
+                let name = it.next().ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", "--setup needs a value")
+                })?;
+                kind = SetupKind::parse(name).ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", format!("unknown setup `{name}`"))
+                })?;
+            }
+            "--clients" => {
+                let value = it.next().ok_or_else(|| {
+                    sann_core::Error::invalid_parameter("args", "--clients needs a value")
+                })?;
+                clients = value.parse().map_err(|_| {
+                    sann_core::Error::invalid_parameter(
+                        "args",
+                        format!("bad value for --clients: `{value}`"),
+                    )
+                })?;
+            }
+            other => {
+                return Err(sann_core::Error::invalid_parameter(
+                    "args",
+                    format!("unknown explore flag `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok((kind, clients))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sann_index::LayoutKind;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn test_ctx() -> BenchContext {
+        let mut ctx = BenchContext::new(0.001);
+        ctx.only_dataset = Some("cohere-s".into());
+        ctx.duration_us = 0.2e6;
+        ctx
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let (kind, clients) = parse_flags(&strings(&["explore"])).unwrap();
+        assert_eq!(kind, DEFAULT_SETUP);
+        assert_eq!(clients, DEFAULT_CLIENTS);
+        let (kind, clients) = parse_flags(&strings(&[
+            "explore",
+            "--setup",
+            "milvus-ivf",
+            "--clients",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(kind, SetupKind::MilvusIvf);
+        assert_eq!(clients, 4);
+        assert!(parse_flags(&strings(&["explore", "--bogus"])).is_err());
+        assert!(parse_flags(&strings(&["explore", "--clients", "many"])).is_err());
+    }
+
+    #[test]
+    fn sweep_covers_all_strategies_and_holds_recall() {
+        let mut ctx = test_ctx();
+        let rows = sweep(&mut ctx, DEFAULT_SETUP, 4).unwrap();
+        assert_eq!(rows.len(), 8, "the full 2x2x2 design space");
+        let baseline = &rows[0];
+        assert_eq!(baseline.strat, IoStrategy::default(), "baseline first");
+        for r in &rows {
+            // Identical top-k => identical recall, bit for bit.
+            assert_eq!(
+                r.recall,
+                baseline.recall,
+                "{} changed what the search answers",
+                r.strat.label()
+            );
+            assert!(r.metrics.completed > 0, "{} ran", r.strat.label());
+        }
+    }
+
+    #[test]
+    fn full_stack_beats_baseline_on_device_reads() {
+        // The acceptance criterion: paged + look-ahead + pipelined reaches
+        // baseline recall with measurably fewer device reads per query.
+        let mut ctx = test_ctx();
+        let rows = sweep(&mut ctx, DEFAULT_SETUP, 4).unwrap();
+        let baseline = rows
+            .iter()
+            .find(|r| r.strat == IoStrategy::default())
+            .unwrap();
+        let full = rows
+            .iter()
+            .find(|r| {
+                r.strat.layout == LayoutKind::Paged && r.strat.look_ahead && r.strat.pipelined
+            })
+            .unwrap();
+        assert!(full.recall >= baseline.recall);
+        assert!(
+            full.device_reads_per_query() < baseline.device_reads_per_query(),
+            "paged+la+pipe must read less: {} vs naive {}",
+            full.device_reads_per_query(),
+            baseline.device_reads_per_query()
+        );
+        assert!(
+            full.trace_ios < baseline.trace_ios,
+            "co-location must shrink the planned request stream"
+        );
+    }
+
+    #[test]
+    fn report_is_byte_stable_and_exports_csvs() {
+        let mut ctx = test_ctx();
+        let dir = std::env::temp_dir().join(format!("sann-explore-{}", std::process::id()));
+        ctx.results_dir = dir.clone();
+        let text = run(&mut ctx, &strings(&["explore", "--clients", "4"])).unwrap();
+        for label in ["naive", "paged+la+pipe", "flash_service_us"] {
+            assert!(text.contains(label), "report must mention {label}");
+        }
+        for csv in ["explore_sweep.csv", "explore_phases.csv"] {
+            let body = std::fs::read_to_string(dir.join(csv)).unwrap();
+            assert_eq!(body.lines().count(), 9, "{csv}: 8 strategies + header");
+        }
+        let mut again = test_ctx();
+        again.results_dir = dir.clone();
+        let text2 = run(&mut again, &strings(&["explore", "--clients", "4"])).unwrap();
+        assert_eq!(text, text2, "explore must be byte-identical across runs");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipelined_rows_shift_time_from_flash_service_to_overlap() {
+        let mut ctx = test_ctx();
+        let rows = sweep(&mut ctx, DEFAULT_SETUP, 4).unwrap();
+        let phased = rows
+            .iter()
+            .find(|r| r.strat == IoStrategy::default())
+            .unwrap();
+        let piped = rows
+            .iter()
+            .find(|r| {
+                r.strat.layout == LayoutKind::Naive && !r.strat.look_ahead && r.strat.pipelined
+            })
+            .unwrap();
+        assert!(piped.overlap_steps > 0.0, "pipelined traces must overlap");
+        assert_eq!(phased.overlap_steps, 0.0, "phased traces never overlap");
+        let fs = |r: &SweepRow| r.metrics.phase_breakdown.mean_us(Phase::FlashService);
+        assert!(
+            fs(piped) < fs(phased),
+            "pipelining must hide flash time under compute: {} vs {}",
+            fs(piped),
+            fs(phased)
+        );
+    }
+}

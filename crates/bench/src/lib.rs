@@ -17,12 +17,14 @@
 //! | §II-B ext.: DiskANN vs SPANN | [`ext_spann`] | `ext-spann` |
 //! | — (timeline inspection, DESIGN.md §8) | [`tracecmd`] | `trace` |
 //! | — (I/O characterization & $/query, DESIGN.md §12) | [`iostat`] | `iostat` |
+//! | — (I/O design-space sweep, DESIGN.md §13) | [`explore`] | `explore` |
 //!
 //! Results print as aligned text tables and are also written as CSV under
 //! `results/`.
 
 pub mod cache;
 pub mod context;
+pub mod explore;
 pub mod ext_filter;
 pub mod ext_rw;
 pub mod ext_spann;

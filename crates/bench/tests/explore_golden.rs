@@ -1,0 +1,63 @@
+//! Golden-file test for the `vdbbench explore` report.
+//!
+//! The full I/O design-space sweep — eight {layout × prefetch ×
+//! pipelining} strategies measured at fixed tuned knobs, plus the
+//! per-strategy phase attribution — is compared byte-for-byte against a
+//! committed golden file. The entire pipeline behind it (dataset
+//! generation, index + paged-layout build, tuning, per-strategy trace
+//! collection, plan compilation, eight simulations, table formatting) is
+//! deterministic, so any drift is a real behaviour change. Regenerate
+//! after an intentional one with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sann-bench --test explore_golden
+//! ```
+
+use sann_bench::{explore, BenchContext};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden file; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn explore_report_matches_golden_byte_for_byte() {
+    let mut ctx = BenchContext::new(0.001);
+    ctx.only_dataset = Some("cohere-s".into());
+    ctx.duration_us = 0.2e6;
+    let dir = std::env::temp_dir().join(format!("sann-explore-golden-{}", std::process::id()));
+    ctx.results_dir = dir.clone();
+    let args: Vec<String> = ["explore", "--clients", "4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let text = explore::run(&mut ctx, &args).unwrap();
+    check_golden("explore.txt", &text);
+    for csv in ["explore_sweep.csv", "explore_phases.csv"] {
+        let body = std::fs::read_to_string(dir.join(csv)).unwrap();
+        check_golden(csv, &body);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

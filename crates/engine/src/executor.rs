@@ -201,6 +201,11 @@ enum Phase {
     IoSubmit,
     /// Blocked waiting for the current beam.
     IoWait,
+    /// Pipelined search: CPU subtasks running while the segment's reads
+    /// are still in flight. The segment completes when both drain; if the
+    /// CPU finishes first the query falls back to [`Phase::IoWait`] for
+    /// the exposed tail.
+    Overlap,
 }
 
 /// Per-read state of the current beam (fault mode only). A read is
@@ -387,6 +392,11 @@ impl<'a> Simulation<'a> {
             .iter()
             .map(|p| {
                 let segs = p.segments();
+                // Rerank = CPU after the last *blocking* segment. Overlapped
+                // segments are deliberately excluded from the boundary: a
+                // trailing prefetch-only overlap must not reclassify the
+                // rerank pass it follows (mirroring
+                // `sann_index::TraceStep::phase`'s blocking-read rule).
                 let last_io = segs
                     .iter()
                     .rposition(|s| matches!(s, Segment::Io { .. } | Segment::Write { .. }));
@@ -401,7 +411,9 @@ impl<'a> Simulation<'a> {
                             }
                         }
                         Segment::Delay { .. } => ObsPhase::Delay,
-                        Segment::Io { .. } | Segment::Write { .. } => ObsPhase::BeamIssue,
+                        Segment::Io { .. } | Segment::Write { .. } | Segment::Overlapped { .. } => {
+                            ObsPhase::BeamIssue
+                        }
                     })
                     .collect()
             })
@@ -837,6 +849,61 @@ impl<'a> Simulation<'a> {
                     self.ready.push_back((query, submit_ns.max(1)));
                     return;
                 }
+                Some(Segment::Overlapped {
+                    total_us,
+                    fanout,
+                    reqs,
+                }) => {
+                    if reqs.is_empty() && *total_us <= 0.0 {
+                        self.queries[query].seg += 1;
+                        continue;
+                    }
+                    let deadline_skip = self.injector.is_some()
+                        && !reqs.is_empty()
+                        && t >= self.queries[query].deadline_ns;
+                    if deadline_skip {
+                        // Past the per-query IO deadline: abandon the reads
+                        // (they were speculative or next-hop fetches), but
+                        // still run the CPU — the distances it computes are
+                        // for data already in memory.
+                        let n = cast::u64_from_usize(reqs.len());
+                        self.fstats.deadline_skips += n;
+                        self.fstats.ios_abandoned += n;
+                        self.queries[query].degraded = true;
+                    }
+                    if reqs.is_empty() || deadline_skip {
+                        // Degenerate to a plain CPU segment.
+                        if *total_us <= 0.0 {
+                            self.queries[query].seg += 1;
+                            continue;
+                        }
+                        self.set_phase(query, ObsPhase::Compute, t);
+                        let fanout = (*fanout).max(1);
+                        let sub_ns = us_to_ns_ceil(total_us / cast::f64_from_usize(fanout));
+                        {
+                            let q = &mut self.queries[query];
+                            q.phase = Phase::Cpu;
+                            q.remaining_subtasks = fanout;
+                        }
+                        for _ in 0..fanout {
+                            self.ready.push_back((query, sub_ns));
+                        }
+                        return;
+                    }
+                    self.set_phase(query, ObsPhase::BeamIssue, t);
+                    // Same submission model as a blocking beam: the requests
+                    // go out once the submission subtask completes, and only
+                    // then does the overlapped CPU start.
+                    let submit_ns =
+                        us_to_ns(cast::f64_from_usize(reqs.len()) * self.config.ssd.submit_cpu_us);
+                    {
+                        let q = &mut self.queries[query];
+                        q.phase = Phase::IoSubmit;
+                        q.remaining_subtasks = 1;
+                    }
+                    self.ready.push_back((query, submit_ns.max(1)));
+                    return;
+                }
             }
         }
     }
@@ -854,96 +921,45 @@ impl<'a> Simulation<'a> {
             }
             Phase::IoSubmit => {
                 // Issue the beam now.
-                let (plan_idx, seg_idx, uid, span) = {
+                let (plan_idx, seg_idx) = {
                     let q = &self.queries[query];
-                    (q.plan, q.seg, q.uid, q.span)
+                    (q.plan, q.seg)
                 };
                 // The per-beam clone releases the borrow on `self.plans` so
                 // the issue path can take `&mut self`; a beam is at most
                 // `beam_width` requests (≤ 8 in every profile), so the copy
                 // is a few dozen bytes, not a per-distance allocation.
-                let (reqs, is_write) = match &self.plans[plan_idx].segments()[seg_idx] {
+                let (reqs, is_write, overlap) = match &self.plans[plan_idx].segments()[seg_idx] {
                     // sann-lint: allow(hot-alloc) -- tiny per-beam copy releases the plans borrow
-                    Segment::Io { reqs } => (reqs.clone(), false),
+                    Segment::Io { reqs } => (reqs.clone(), false, None),
                     // sann-lint: allow(hot-alloc) -- tiny per-beam copy releases the plans borrow
-                    Segment::Write { reqs } => (reqs.clone(), true),
+                    Segment::Write { reqs } => (reqs.clone(), true, None),
+                    Segment::Overlapped {
+                        total_us,
+                        fanout,
+                        reqs,
+                        // sann-lint: allow(hot-alloc) -- tiny per-beam copy releases the plans borrow
+                    } => (reqs.clone(), false, Some((*total_us, *fanout))),
                     // Phase-machine invariant: advance() sets IoSubmit only
-                    // on Io/Write segments, so this arm cannot be reached.
-                    // sann-lint: allow(panic-path) -- phase machine sets IoSubmit only on Io/Write segments
+                    // on Io/Write/Overlapped segments with requests, so this
+                    // arm cannot be reached.
+                    // sann-lint: allow(panic-path) -- phase machine sets IoSubmit only on io-bearing segments
                     _ => unreachable!("IoSubmit phase on non-io segment"),
                 };
                 self.beams += 1;
                 self.beam_width_hist
                     .record(cast::u64_from_usize(reqs.len()));
-                if !is_write && self.injector.is_some() {
+                let pending = if !is_write && self.injector.is_some() {
                     // Reads under an active fault profile take the
                     // resilient path: per-request retry/hedge/deadline
-                    // state machine. Writes stay on the clean path below.
-                    self.issue_beam_faulted(query, t, &reqs);
+                    // state machine. Writes stay on the clean path.
+                    self.issue_beam_faulted(query, t, &reqs)
+                } else {
+                    self.issue_clean_beam(query, t, &reqs, is_write)
+                };
+                if let Some((total_us, fanout)) = overlap {
+                    self.begin_overlap_cpu(query, t, total_us, fanout, pending);
                     return;
-                }
-                // Block-layer events carry the owning query's root span so
-                // exported timelines can nest device traffic under queries.
-                let owner = span.index().map_or(NO_OWNER, |i| i as u64);
-                let record_io = self.obs.level().io();
-                let mut pending = 0usize;
-                for r in &reqs {
-                    let t_us = ns_to_us(t);
-                    let done_ns = if is_write {
-                        // Writes bypass the page cache (write-through /
-                        // direct I/O semantics).
-                        self.tracer.record_write_tagged(
-                            t_us,
-                            r.offset,
-                            r.len,
-                            r.needed,
-                            r.provenance,
-                            owner,
-                        );
-                        self.writes_device += 1;
-                        let done_us = self.device.schedule_write(t_us, r.len);
-                        us_to_ns(done_us)
-                    } else {
-                        self.query_io_count += 1;
-                        self.query_read_bytes += r.len as u64;
-                        let missed = self.cache.access(r.offset, r.len);
-                        if missed == 0 {
-                            self.reads_cache_hit += 1;
-                            // sann-lint: allow(panic-path) -- provenance.index() < COUNT by construction
-                            self.prov_cache_hits[r.provenance.index()] += 1;
-                            // sann-lint: allow(panic-path) -- provenance.index() < COUNT by construction
-                            self.prov_cache_hit_bytes[r.provenance.index()] += u64::from(r.len);
-                            continue; // page-cache hit: no device traffic
-                        }
-                        self.tracer.record_read_tagged(
-                            t_us,
-                            r.offset,
-                            r.len,
-                            r.needed,
-                            r.provenance,
-                            owner,
-                        );
-                        self.reads_device += 1;
-                        let done_us = self.device.schedule(t_us, r.len);
-                        us_to_ns(done_us)
-                    };
-                    self.push_event(done_ns, EventKind::Io { query });
-                    if record_io {
-                        self.obs.io_span(IoSpan {
-                            owner: span,
-                            query: uid,
-                            start_ns: t,
-                            end_ns: done_ns,
-                            offset: r.offset,
-                            len: r.len,
-                            write: is_write,
-                            provenance: r.provenance,
-                            attempt: 0,
-                            hedged: false,
-                            outcome: IoOutcome::Ok,
-                        });
-                    }
-                    pending += 1;
                 }
                 // Service time is flash-service when the device is
                 // involved; a beam fully absorbed by the page cache is a
@@ -963,18 +979,166 @@ impl<'a> Simulation<'a> {
                     q.pending_ios = pending;
                 }
             }
-            // Subtask completions are only scheduled during Cpu/IoSubmit
-            // phases; the event queue cannot deliver one while IoWait.
+            Phase::Overlap => {
+                let done = {
+                    let q = &mut self.queries[query];
+                    q.remaining_subtasks -= 1;
+                    q.remaining_subtasks == 0
+                };
+                if !done {
+                    return;
+                }
+                if self.queries[query].pending_ios == 0 {
+                    let q = &mut self.queries[query];
+                    q.seg += 1;
+                    self.advance(query, t);
+                } else {
+                    // The overlapped CPU is done but reads are still in
+                    // flight: only this exposed tail counts as flash
+                    // service — the covered portion was billed to compute.
+                    self.queries[query].phase = Phase::IoWait;
+                    self.set_phase(query, ObsPhase::FlashService, t);
+                }
+            }
+            // Subtask completions are only scheduled during Cpu/IoSubmit/
+            // Overlap phases; the event queue cannot deliver one while
+            // IoWait.
             // sann-lint: allow(panic-path) -- subtask events are never scheduled during IoWait
             Phase::IoWait => unreachable!("subtask completion while waiting on io"),
         }
     }
 
+    /// Issues one beam of requests on the clean (fault-free) path: cache
+    /// hits are absorbed on the spot, misses are scheduled on the device.
+    /// Returns the number of requests left in flight; the caller decides
+    /// how the query waits for them.
+    fn issue_clean_beam(&mut self, query: usize, t: u64, reqs: &[IoReq], is_write: bool) -> usize {
+        let (uid, span) = {
+            let q = &self.queries[query];
+            (q.uid, q.span)
+        };
+        // Block-layer events carry the owning query's root span so
+        // exported timelines can nest device traffic under queries.
+        let owner = span.index().map_or(NO_OWNER, |i| i as u64);
+        let record_io = self.obs.level().io();
+        let mut pending = 0usize;
+        for r in reqs {
+            let t_us = ns_to_us(t);
+            let done_ns = if is_write {
+                // Writes bypass the page cache (write-through /
+                // direct I/O semantics).
+                self.tracer.record_write_tagged(
+                    t_us,
+                    r.offset,
+                    r.len,
+                    r.needed,
+                    r.provenance,
+                    owner,
+                );
+                self.writes_device += 1;
+                let done_us = self.device.schedule_write(t_us, r.len);
+                us_to_ns(done_us)
+            } else {
+                self.query_io_count += 1;
+                self.query_read_bytes += r.len as u64;
+                let missed = self.cache.access(r.offset, r.len);
+                if missed == 0 {
+                    self.reads_cache_hit += 1;
+                    // sann-lint: allow(panic-path) -- provenance.index() < COUNT by construction
+                    self.prov_cache_hits[r.provenance.index()] += 1;
+                    // sann-lint: allow(panic-path) -- provenance.index() < COUNT by construction
+                    self.prov_cache_hit_bytes[r.provenance.index()] += u64::from(r.len);
+                    continue; // page-cache hit: no device traffic
+                }
+                self.tracer.record_read_tagged(
+                    t_us,
+                    r.offset,
+                    r.len,
+                    r.needed,
+                    r.provenance,
+                    owner,
+                );
+                self.reads_device += 1;
+                let done_us = self.device.schedule(t_us, r.len);
+                us_to_ns(done_us)
+            };
+            self.push_event(done_ns, EventKind::Io { query });
+            if record_io {
+                self.obs.io_span(IoSpan {
+                    owner: span,
+                    query: uid,
+                    start_ns: t,
+                    end_ns: done_ns,
+                    offset: r.offset,
+                    len: r.len,
+                    write: is_write,
+                    provenance: r.provenance,
+                    attempt: 0,
+                    hedged: false,
+                    outcome: IoOutcome::Ok,
+                });
+            }
+            pending += 1;
+        }
+        pending
+    }
+
+    /// Starts the CPU half of an [`Segment::Overlapped`] segment after its
+    /// reads were issued (`pending` of them reached the device). The CPU
+    /// time is billed to compute — overlap is the whole point — and only a
+    /// tail where reads outlive the CPU shows up as flash service.
+    fn begin_overlap_cpu(
+        &mut self,
+        query: usize,
+        t: u64,
+        total_us: f64,
+        fanout: usize,
+        pending: usize,
+    ) {
+        if pending == 0 {
+            self.beams_cache_absorbed += 1;
+        }
+        if total_us <= 0.0 {
+            // Nothing to overlap with: behave exactly like a blocking beam.
+            if pending == 0 {
+                self.set_phase(query, ObsPhase::CacheHit, t);
+                let q = &mut self.queries[query];
+                q.phase = Phase::IoWait;
+                q.pending_ios = 0;
+                q.seg += 1;
+                self.advance(query, t);
+            } else {
+                self.set_phase(query, ObsPhase::FlashService, t);
+                let q = &mut self.queries[query];
+                q.phase = Phase::IoWait;
+                q.pending_ios = pending;
+            }
+            return;
+        }
+        self.set_phase(query, ObsPhase::Compute, t);
+        let fanout = fanout.max(1);
+        let sub_ns = us_to_ns_ceil(total_us / cast::f64_from_usize(fanout));
+        {
+            let q = &mut self.queries[query];
+            q.phase = Phase::Overlap;
+            q.remaining_subtasks = fanout;
+            q.pending_ios = pending;
+        }
+        for _ in 0..fanout {
+            self.ready.push_back((query, sub_ns));
+        }
+    }
+
     fn on_io_done(&mut self, query: usize, t: u64) {
         let q = &mut self.queries[query];
-        debug_assert!(q.live && q.phase == Phase::IoWait);
+        debug_assert!(q.live && matches!(q.phase, Phase::IoWait | Phase::Overlap));
         q.pending_ios -= 1;
         if q.pending_ios == 0 {
+            if q.phase == Phase::Overlap && q.remaining_subtasks > 0 {
+                // Reads finished under cover of the overlapped CPU; the
+                // segment completes when the CPU does.
+                return;
+            }
             q.seg += 1;
             self.advance(query, t);
         }
@@ -982,8 +1146,9 @@ impl<'a> Simulation<'a> {
 
     /// Fault-mode issuance of a read beam: each request gets its own
     /// retry/hedge state; the beam completes when every request settles
-    /// (resolved or abandoned).
-    fn issue_beam_faulted(&mut self, query: usize, t: u64, reqs: &[IoReq]) {
+    /// (resolved or abandoned). Returns the number of requests left in
+    /// flight; the caller decides how the query waits for them.
+    fn issue_beam_faulted(&mut self, query: usize, t: u64, reqs: &[IoReq]) -> usize {
         let (uid, beam) = {
             let q = &mut self.queries[query];
             q.beam_seq += 1;
@@ -1027,20 +1192,7 @@ impl<'a> Simulation<'a> {
             }
             pending += 1;
         }
-        if pending == 0 {
-            self.beams_cache_absorbed += 1;
-            self.set_phase(query, ObsPhase::CacheHit, t);
-            let q = &mut self.queries[query];
-            q.phase = Phase::IoWait;
-            q.pending_ios = 0;
-            q.seg += 1;
-            self.advance(query, t);
-        } else {
-            self.set_phase(query, ObsPhase::FlashService, t);
-            let q = &mut self.queries[query];
-            q.phase = Phase::IoWait;
-            q.pending_ios = pending;
-        }
+        pending
     }
 
     /// Starts one device attempt for a fault-mode read: draws the attempt's
@@ -1123,7 +1275,10 @@ impl<'a> Simulation<'a> {
     /// scheduled against (same occupant, same read beam, still waiting).
     fn fault_event_is_current(&self, query: usize, uid: u64, beam: u32) -> bool {
         self.queries.get(query).is_some_and(|q| {
-            q.live && q.uid == uid && q.beam_seq == beam && q.phase == Phase::IoWait
+            q.live
+                && q.uid == uid
+                && q.beam_seq == beam
+                && matches!(q.phase, Phase::IoWait | Phase::Overlap)
         })
     }
 
@@ -1331,6 +1486,11 @@ impl<'a> Simulation<'a> {
         let q = &mut self.queries[query];
         q.pending_ios -= 1;
         if q.pending_ios == 0 {
+            if q.phase == Phase::Overlap && q.remaining_subtasks > 0 {
+                // Settled under cover of the overlapped CPU; the segment
+                // completes when the CPU does.
+                return;
+            }
             q.seg += 1;
             self.advance(query, t);
         }
@@ -1797,6 +1957,159 @@ mod tests {
         assert!(b.phase_ns(sann_obs::Phase::QueueWait) > 0);
         assert!(b.phase_ns(sann_obs::Phase::FlashService) > 0);
         assert!(b.phase_ns(sann_obs::Phase::Rerank) > 0);
+    }
+
+    #[test]
+    fn overlap_hides_io_under_compute() {
+        // Same work, two schedules: blocking read then compute, vs the
+        // pipelined segment running them concurrently. The overlap must
+        // recover most of the device latency.
+        let ssd = SsdModel::samsung_990_pro();
+        let read = || vec![IoReq::new(0, 4096)];
+        let phased = QueryPlan::new(vec![
+            Segment::cpu(10.0),
+            Segment::io(read()),
+            Segment::cpu(200.0),
+        ]);
+        let pipelined = QueryPlan::new(vec![
+            Segment::cpu(10.0),
+            Segment::overlapped(200.0, 1, read()),
+        ]);
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 1e6,
+            ssd,
+            ..RunConfig::default()
+        };
+        let m_phased = Executor::new(config).run(&[phased]);
+        let m_pipe = Executor::new(config).run(&[pipelined]);
+        let lat = ssd.idle_latency_us(4096);
+        assert!(
+            m_phased.mean_latency_us - m_pipe.mean_latency_us > 0.8 * lat,
+            "overlap must hide the read: {} vs {} (device {lat})",
+            m_pipe.mean_latency_us,
+            m_phased.mean_latency_us
+        );
+        // The CPU outlives the read, so the whole device time is covered:
+        // latency ~ cpu + submit overheads only.
+        let expect = 10.0 + ssd.submit_cpu_us + 200.0;
+        assert!(
+            (m_pipe.mean_latency_us - expect).abs() < 2.0,
+            "pipelined latency {} vs {expect}",
+            m_pipe.mean_latency_us
+        );
+        assert_eq!(m_phased.read_bytes_per_query, m_pipe.read_bytes_per_query);
+    }
+
+    #[test]
+    fn overlap_covered_io_bills_compute_not_flash_service() {
+        // CPU far longer than the device: the read finishes under cover,
+        // so no flash-service time may be billed for the segment.
+        let plan = QueryPlan::new(vec![Segment::overlapped(
+            500.0,
+            1,
+            vec![IoReq::new(0, 4096)],
+        )]);
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 0.2e6,
+            ..RunConfig::default()
+        };
+        let m = Executor::new(config).run(&[plan]);
+        let b = &m.phase_breakdown;
+        assert_eq!(
+            b.phase_ns(ObsPhase::FlashService),
+            0,
+            "fully covered reads must not bill flash service"
+        );
+        assert!(b.phase_ns(ObsPhase::Compute) > 0);
+        assert!(b.phase_ns(ObsPhase::BeamIssue) > 0, "submission still runs");
+    }
+
+    #[test]
+    fn overlap_exposed_tail_bills_flash_service() {
+        // CPU far shorter than the device: the tail past the CPU is
+        // exposed waiting and must show up as flash service.
+        let ssd = SsdModel::samsung_990_pro();
+        let plan = QueryPlan::new(vec![Segment::overlapped(1.0, 1, vec![IoReq::new(0, 4096)])]);
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 0.2e6,
+            ssd,
+            ..RunConfig::default()
+        };
+        let m = Executor::new(config).run(&[plan]);
+        let b = &m.phase_breakdown;
+        let flash_us = b.phase_ns(ObsPhase::FlashService) as f64 / 1000.0 / b.queries as f64;
+        let expect = ssd.idle_latency_us(4096) - 1.0;
+        assert!(
+            (flash_us - expect).abs() < 2.0,
+            "exposed tail {flash_us} vs device-minus-cpu {expect}"
+        );
+    }
+
+    #[test]
+    fn overlapped_traces_validate_and_match_untraced() {
+        let plan = || {
+            QueryPlan::new(vec![
+                Segment::cpu(20.0),
+                Segment::io(vec![IoReq::new(0, 4096)]),
+                Segment::overlapped(
+                    30.0,
+                    2,
+                    vec![IoReq::new(8192, 4096), IoReq::new(16384, 4096)],
+                ),
+                Segment::cpu(10.0),
+            ])
+        };
+        let config = RunConfig {
+            cores: 4,
+            concurrency: 8,
+            duration_us: 0.1e6,
+            cache_bytes: 1 << 20,
+            ..RunConfig::default()
+        };
+        let plain = Executor::new(config).run(&[plan()]);
+        for level in sann_obs::TraceLevel::ALL {
+            let traced = Executor::new(config).run_traced(&[plan()], level);
+            traced.trace.validate().unwrap();
+            assert_eq!(
+                plain.canonical_bytes(),
+                traced.metrics.canonical_bytes(),
+                "tracing at {level} must not perturb an overlapped run"
+            );
+        }
+        // Deterministic across repeat runs, like every other plan shape.
+        let again = Executor::new(config).run(&[plan()]);
+        assert_eq!(plain.canonical_bytes(), again.canonical_bytes());
+    }
+
+    #[test]
+    fn overlap_after_last_blocking_read_keeps_rerank() {
+        // A trailing prefetch-only overlapped segment must not reclassify
+        // the rerank CPU before it (the engine side of the trace-model
+        // rule: rerank = CPU after the last *blocking* read).
+        let plan = QueryPlan::new(vec![
+            Segment::cpu(20.0),
+            Segment::io(vec![IoReq::new(0, 4096)]),
+            Segment::cpu(10.0),
+            Segment::overlapped(5.0, 1, vec![IoReq::new(8192, 4096)]),
+        ]);
+        let config = RunConfig {
+            cores: 2,
+            concurrency: 1,
+            duration_us: 0.1e6,
+            ..RunConfig::default()
+        };
+        let m = Executor::new(config).run(&[plan]);
+        assert!(
+            m.phase_breakdown.phase_ns(ObsPhase::Rerank) > 0,
+            "the CPU between the last blocking read and the trailing \
+             prefetch is still the rerank pass"
+        );
     }
 
     #[test]

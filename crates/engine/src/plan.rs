@@ -34,6 +34,18 @@ pub enum Segment {
         /// The write requests in the batch.
         reqs: Vec<IoReq>,
     },
+    /// Reads in flight *while* CPU work runs (software-pipelined beam
+    /// search / look-ahead prefetch). The segment completes when both the
+    /// slowest request and the last CPU subtask finish; the CPU side bills
+    /// to compute, only the exposed I/O tail bills to flash service.
+    Overlapped {
+        /// Total concurrent CPU time across subtasks, µs.
+        total_us: f64,
+        /// Number of parallel subtasks the CPU work is split into.
+        fanout: usize,
+        /// The requests in flight under the CPU work.
+        reqs: Vec<IoReq>,
+    },
 }
 
 impl Segment {
@@ -67,6 +79,15 @@ impl Segment {
     pub fn write(reqs: Vec<IoReq>) -> Segment {
         Segment::Write { reqs }
     }
+
+    /// An overlapped compute-under-I/O segment.
+    pub fn overlapped(total_us: f64, fanout: usize, reqs: Vec<IoReq>) -> Segment {
+        Segment::Overlapped {
+            total_us,
+            fanout: fanout.max(1),
+            reqs,
+        }
+    }
 }
 
 /// A compiled, replayable query: the ordered segments of one search.
@@ -91,29 +112,32 @@ impl QueryPlan {
         self.segments
             .iter()
             .map(|s| match s {
-                Segment::Cpu { total_us, .. } => *total_us,
+                Segment::Cpu { total_us, .. } | Segment::Overlapped { total_us, .. } => *total_us,
                 _ => 0.0,
             })
             .sum()
     }
 
-    /// Total bytes read by the plan.
+    /// Total bytes read by the plan (blocking and overlapped beams).
     pub fn read_bytes(&self) -> u64 {
         self.segments
             .iter()
             .map(|s| match s {
-                Segment::Io { reqs } => reqs.iter().map(|r| r.len as u64).sum(),
+                Segment::Io { reqs } | Segment::Overlapped { reqs, .. } => {
+                    reqs.iter().map(|r| r.len as u64).sum()
+                }
                 _ => 0,
             })
             .sum()
     }
 
-    /// Total I/O requests in the plan.
+    /// Total read requests in the plan (blocking and overlapped beams).
+    /// Write batches are excluded here; fault accounting tracks reads.
     pub fn io_count(&self) -> u64 {
         self.segments
             .iter()
             .map(|s| match s {
-                Segment::Io { reqs } => reqs.len() as u64,
+                Segment::Io { reqs } | Segment::Overlapped { reqs, .. } => reqs.len() as u64,
                 _ => 0,
             })
             .sum()
@@ -226,11 +250,33 @@ impl PlanBuilder {
                         segments.push(Segment::cpu_parallel(pending_cpu, self.intra_parallelism));
                         pending_cpu = 0.0;
                     }
-                    let mut fanned = Vec::with_capacity(reqs.len() * self.io_fanout);
-                    for replica in 0..self.io_fanout as u64 {
-                        fanned.extend(reqs.iter().map(|r| r.shifted(replica * IO_FANOUT_STRIDE)));
+                    segments.push(Segment::io(self.fan_out(reqs)));
+                }
+                TraceStep::Overlapped { reqs, cpu } => {
+                    // The overlapped reads are a beam like any other
+                    // (submission and per-beam software cost apply); the
+                    // step's own CPU runs concurrently inside the segment.
+                    pending_cpu += self.read_overhead_us;
+                    if pending_cpu > 0.0 {
+                        segments.push(Segment::cpu_parallel(pending_cpu, self.intra_parallelism));
+                        pending_cpu = 0.0;
                     }
-                    segments.push(Segment::io(fanned));
+                    let ov_us: f64 = cpu
+                        .iter()
+                        .map(|op| match op {
+                            sann_index::CpuOp::Compute { count, dim } => {
+                                self.cost.compute_us(*count, *dim) * self.work_multiplier
+                            }
+                            sann_index::CpuOp::PqLookup { count, m } => {
+                                self.cost.pq_us(*count, *m) * self.work_multiplier
+                            }
+                        })
+                        .sum();
+                    segments.push(Segment::overlapped(
+                        ov_us,
+                        self.intra_parallelism,
+                        self.fan_out(reqs),
+                    ));
                 }
             }
         }
@@ -243,6 +289,15 @@ impl PlanBuilder {
     /// Compiles a batch of traces.
     pub fn build_all(&self, traces: &[QueryTrace]) -> Vec<QueryPlan> {
         traces.iter().map(|t| self.build(t)).collect()
+    }
+
+    /// Replicates a beam `io_fanout` times onto distinct device regions.
+    fn fan_out(&self, reqs: &[IoReq]) -> Vec<IoReq> {
+        let mut fanned = Vec::with_capacity(reqs.len() * self.io_fanout);
+        for replica in 0..self.io_fanout as u64 {
+            fanned.extend(reqs.iter().map(|r| r.shifted(replica * IO_FANOUT_STRIDE)));
+        }
+        fanned
     }
 }
 
@@ -335,6 +390,77 @@ mod tests {
             }
             other => panic!("expected io, got {other:?}"),
         }
+    }
+
+    fn overlapped_trace() -> QueryTrace {
+        let mut t = QueryTrace::new();
+        t.push_read(vec![IoReq::new(0, 4096)]);
+        t.push_overlapped(
+            vec![IoReq::new(8192, 4096), IoReq::new(16384, 4096)],
+            vec![
+                sann_index::CpuOp::Compute { count: 8, dim: 768 },
+                sann_index::CpuOp::PqLookup { count: 64, m: 48 },
+            ],
+        );
+        t.push_compute(4, 768);
+        t
+    }
+
+    #[test]
+    fn overlapped_steps_compile_to_overlapped_segments() {
+        let cost = CostModel::default().with_overhead_us(0.0);
+        let plan = PlanBuilder::new(cost).build(&overlapped_trace());
+        assert_eq!(plan.segments().len(), 3, "io, overlapped, cpu");
+        assert!(matches!(plan.segments()[0], Segment::Io { .. }));
+        match &plan.segments()[1] {
+            Segment::Overlapped {
+                total_us,
+                fanout,
+                reqs,
+            } => {
+                let expect = cost.compute_us(8, 768) + cost.pq_us(64, 48);
+                assert!((total_us - expect).abs() < 1e-9);
+                assert_eq!(*fanout, 1);
+                assert_eq!(reqs.len(), 2);
+            }
+            other => panic!("expected overlapped, got {other:?}"),
+        }
+        assert!(matches!(plan.segments()[2], Segment::Cpu { .. }));
+        // Aggregates see the overlapped beam like any other.
+        assert_eq!(plan.io_count(), 3);
+        assert_eq!(plan.read_bytes(), 3 * 4096);
+        let cpu = cost.compute_us(8, 768) + cost.pq_us(64, 48) + cost.compute_us(4, 768);
+        assert!((plan.cpu_us() - cpu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_fanout_replicates_overlapped_beams() {
+        let plan = PlanBuilder::new(CostModel::default())
+            .with_io_fanout(3)
+            .build(&overlapped_trace());
+        assert_eq!(plan.io_count(), 9, "(1 + 2) reqs x 3 replicas");
+        // Default overhead makes segments [cpu, io, overlapped, cpu].
+        match &plan.segments()[2] {
+            Segment::Overlapped { reqs, .. } => {
+                let mut offsets: Vec<u64> = reqs.iter().map(|r| r.offset).collect();
+                offsets.dedup();
+                assert_eq!(offsets.len(), 6, "replicas must not alias");
+            }
+            other => panic!("expected overlapped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_overhead_charges_overlapped_beams_too() {
+        let cost = CostModel::default().with_overhead_us(0.0);
+        let plain = PlanBuilder::new(cost).build(&overlapped_trace()).cpu_us();
+        let with = PlanBuilder::new(cost)
+            .with_read_overhead_us(200.0)
+            .build(&overlapped_trace());
+        assert!(
+            (with.cpu_us() - plain - 400.0).abs() < 1e-6,
+            "one blocking + one overlapped beam in the trace"
+        );
     }
 
     #[test]

@@ -27,6 +27,30 @@ fn tagged_plan(salt: u64) -> QueryPlan {
     ])
 }
 
+/// Like [`tagged_plan`] but with the second beam issued as a pipelined
+/// [`Segment::Overlapped`]: reads in flight under CPU work, the shape the
+/// I/O design-space explorer's `+pipe` strategies compile to.
+fn overlapped_plan(salt: u64) -> QueryPlan {
+    let tag = |i: u64, p| IoReq::tagged((salt * 89 + i) % 32 * 4096, 4096, 3332, p);
+    QueryPlan::new(vec![
+        Segment::cpu(10.0),
+        Segment::io(vec![
+            tag(0, IoProvenance::GraphAdjacency),
+            tag(1, IoProvenance::VectorBlock),
+        ]),
+        Segment::overlapped(
+            8.0,
+            2,
+            vec![
+                tag(2, IoProvenance::IvfPostingList),
+                tag(3, IoProvenance::PqCodes),
+                IoReq::new((salt * 37) % 16 * 4096 + (1 << 24), 4096),
+            ],
+        ),
+        Segment::cpu(5.0),
+    ])
+}
+
 fn config(cache_bytes: u64, profile: FaultProfile) -> RunConfig {
     RunConfig {
         cores: 4,
@@ -42,7 +66,11 @@ fn config(cache_bytes: u64, profile: FaultProfile) -> RunConfig {
 }
 
 fn check_conservation(cache_bytes: u64, profile: FaultProfile) {
-    let plans: Vec<QueryPlan> = (0..4).map(tagged_plan).collect();
+    check_conservation_of(cache_bytes, profile, tagged_plan);
+}
+
+fn check_conservation_of(cache_bytes: u64, profile: FaultProfile, plan: fn(u64) -> QueryPlan) {
+    let plans: Vec<QueryPlan> = (0..4).map(plan).collect();
     let run =
         Executor::new(config(cache_bytes, profile)).run_traced(&plans, sann_obs::TraceLevel::Off);
     let m = &run.metrics;
@@ -108,6 +136,21 @@ fn conservation_under_aging_faults() {
 #[test]
 fn conservation_under_flaky_faults_with_cache() {
     check_conservation(1 << 20, FaultProfile::parse("flaky").unwrap());
+}
+
+#[test]
+fn conservation_overlapped_clean() {
+    check_conservation_of(0, FaultProfile::none(), overlapped_plan);
+}
+
+#[test]
+fn conservation_overlapped_with_page_cache() {
+    check_conservation_of(1 << 20, FaultProfile::none(), overlapped_plan);
+}
+
+#[test]
+fn conservation_overlapped_under_flaky_faults() {
+    check_conservation_of(0, FaultProfile::parse("flaky").unwrap(), overlapped_plan);
 }
 
 #[test]

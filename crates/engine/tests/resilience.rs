@@ -156,6 +156,74 @@ fn fault_conservation_holds_across_profiles() {
     }
 }
 
+/// A pipelined variant of [`storage_plan`]: the second beam flies under
+/// overlapped CPU work, as `+pipe` strategies compile.
+fn pipelined_plan() -> QueryPlan {
+    QueryPlan::new(vec![
+        Segment::cpu(20.0),
+        Segment::io(vec![IoReq::new(0, 4096), IoReq::new(8192, 4096)]),
+        Segment::overlapped(15.0, 2, vec![IoReq::new(1 << 20, 4096)]),
+        Segment::cpu(10.0),
+    ])
+}
+
+#[test]
+fn overlapped_fault_conservation_holds_across_profiles() {
+    for profile in [
+        FaultProfile::aging(),
+        FaultProfile::gc_heavy(),
+        FaultProfile::flaky(),
+    ] {
+        let faults = FaultConfig {
+            profile,
+            hedge_after_us: 300.0,
+            io_deadline_us: 3_000.0,
+            ..FaultConfig::default()
+        };
+        let m = Executor::new(base_config(faults)).run(&[pipelined_plan()]);
+        let f = &m.fault;
+        assert_eq!(
+            f.ios_planned,
+            f.ios_completed + f.ios_abandoned,
+            "profile {} leaked overlapped reads",
+            profile.name
+        );
+        assert!(f.ios_planned > 0);
+    }
+}
+
+#[test]
+fn overlapped_deadline_skips_reads_but_queries_complete() {
+    // A deadline shorter than any device access: the overlapped segment's
+    // reads are abandoned, its CPU still runs, queries still finish, and
+    // the read accounting stays conservative.
+    let faults = FaultConfig {
+        profile: FaultProfile::flaky(),
+        io_deadline_us: 1.0,
+        ..FaultConfig::default()
+    };
+    let m = Executor::new(base_config(faults)).run(&[pipelined_plan()]);
+    let f = &m.fault;
+    assert!(m.completed > 0);
+    assert!(f.deadline_skips > 0, "a 1 µs deadline must skip reads");
+    assert_eq!(f.ios_planned, f.ios_completed + f.ios_abandoned);
+    assert!(f.degraded_queries > 0);
+}
+
+#[test]
+fn overlapped_faulted_runs_are_byte_deterministic() {
+    let faults = FaultConfig {
+        profile: FaultProfile::flaky(),
+        hedge_after_us: 200.0,
+        io_deadline_us: 2_000.0,
+        ..FaultConfig::default()
+    };
+    let config = base_config(faults);
+    let a = Executor::new(config).run(&[pipelined_plan()]);
+    let b = Executor::new(config).run(&[pipelined_plan()]);
+    assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+}
+
 #[test]
 fn faulted_runs_are_byte_deterministic() {
     let faults = FaultConfig {

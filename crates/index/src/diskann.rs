@@ -11,9 +11,10 @@
 //! to classic best-first search; the paper's §VI studies both parameters.
 
 use crate::layout::DiskLayout;
-use crate::trace::{QueryTrace, SearchOutput};
+use crate::paged::PagedLayout;
+use crate::trace::{CpuOp, IoReq, QueryTrace, SearchOutput};
 use crate::vamana::{VamanaConfig, VamanaGraph};
-use crate::{SearchParams, VectorIndex};
+use crate::{IoStrategy, LayoutKind, SearchParams, VectorIndex};
 use sann_core::{Dataset, Error, Metric, Result, TopK};
 
 /// Build-time configuration for [`DiskAnnIndex`].
@@ -54,6 +55,10 @@ pub struct DiskAnnIndex {
     /// In-memory PQ codes, `n × pq_m` bytes (the index's memory footprint).
     codes: Vec<u8>,
     layout: DiskLayout,
+    /// Alternative page-aligned placement of the same records
+    /// ([`LayoutKind::Paged`]); rebuilt deterministically from the graph, so
+    /// the persisted artifact format is unchanged.
+    paged: PagedLayout,
 }
 
 impl std::fmt::Debug for DiskAnnIndex {
@@ -101,6 +106,7 @@ impl DiskAnnIndex {
         // Node record: full vector + degree + R neighbor slots.
         let node_bytes = (dim * 4 + 4 + graph.r() * 4) as u64;
         let layout = DiskLayout::new(data.len() as u64, node_bytes, config.base_offset);
+        let paged = PagedLayout::new(&graph, node_bytes, config.base_offset);
         Ok(DiskAnnIndex {
             data: data.clone(),
             metric,
@@ -108,12 +114,18 @@ impl DiskAnnIndex {
             pq,
             codes,
             layout,
+            paged,
         })
     }
 
     /// The on-device layout (offsets/requests of node records).
     pub fn layout(&self) -> &DiskLayout {
         &self.layout
+    }
+
+    /// The page-aligned alternative placement ([`LayoutKind::Paged`]).
+    pub fn paged_layout(&self) -> &PagedLayout {
+        &self.paged
     }
 
     /// The underlying Vamana graph.
@@ -158,6 +170,7 @@ impl DiskAnnIndex {
         let codes = r.take(len)?.to_vec();
         let node_bytes = (data.dim() * 4 + 4 + graph.r() * 4) as u64;
         let layout = DiskLayout::new(data.len() as u64, node_bytes, base_offset);
+        let paged = PagedLayout::new(&graph, node_bytes, base_offset);
         Ok(DiskAnnIndex {
             data,
             metric,
@@ -165,6 +178,7 @@ impl DiskAnnIndex {
             pq,
             codes,
             layout,
+            paged,
         })
     }
 }
@@ -175,6 +189,95 @@ struct Candidate {
     id: u32,
     pq_dist: f32,
     visited: bool,
+}
+
+/// Per-query record of what is already in memory, at the granularity of the
+/// active layout: node records for [`LayoutKind::Naive`], whole pages for
+/// [`LayoutKind::Paged`]. This is where the paged layout's in-page
+/// duplicate-visit elimination and the look-ahead prefetcher's re-served
+/// fetches are decided.
+struct FetchedSet {
+    kind: LayoutKind,
+    set: Vec<bool>,
+}
+
+impl FetchedSet {
+    fn new(ix: &DiskAnnIndex, strat: IoStrategy) -> FetchedSet {
+        match strat.layout {
+            LayoutKind::Naive => FetchedSet {
+                kind: LayoutKind::Naive,
+                set: vec![false; ix.data.len()],
+            },
+            LayoutKind::Paged => FetchedSet {
+                kind: LayoutKind::Paged,
+                set: vec![false; ix.paged.n_pages() as usize],
+            },
+        }
+    }
+
+    /// Queues the reads that must complete before node `id` can be visited
+    /// this hop. Already-fetched records cost nothing; under the paged
+    /// layout a second frontier node on a page already queued *this beam*
+    /// only bumps that request's needed bytes.
+    fn demand(&mut self, ix: &DiskAnnIndex, id: u64, reqs: &mut Vec<IoReq>) -> Result<()> {
+        let prov = sann_obs::IoProvenance::GraphAdjacency;
+        match self.kind {
+            LayoutKind::Naive => {
+                let node_reqs = ix.layout.node_reqs(id, prov)?;
+                let slot = &mut self.set[id as usize];
+                if !*slot {
+                    *slot = true;
+                    reqs.extend(node_reqs);
+                }
+            }
+            LayoutKind::Paged => {
+                let page = ix.paged.page_of(id)?;
+                let slot = &mut self.set[page as usize];
+                if !*slot {
+                    *slot = true;
+                    reqs.push(ix.paged.page_req(page, 1, prov));
+                } else if let Some(r) = reqs
+                    .iter_mut()
+                    .find(|r| r.offset == ix.paged.page_offset(page))
+                {
+                    // Queued earlier in this very beam: one fetch serves
+                    // both visits, and both records' bytes are needed.
+                    r.needed = r
+                        .needed
+                        .saturating_add(sann_core::cast::u32_from_u64(ix.paged.node_bytes()))
+                        .min(r.len);
+                }
+                // Otherwise the page arrived on an earlier hop (or by
+                // prefetch): the visit is free — the elimination case.
+            }
+        }
+        Ok(())
+    }
+
+    /// Queues a speculative read for node `id` unless its record (or page)
+    /// is already in memory or already queued.
+    fn speculate(&mut self, ix: &DiskAnnIndex, id: u64, out: &mut Vec<IoReq>) -> Result<()> {
+        let prov = sann_obs::IoProvenance::GraphAdjacency;
+        match self.kind {
+            LayoutKind::Naive => {
+                let node_reqs = ix.layout.node_reqs(id, prov)?;
+                let slot = &mut self.set[id as usize];
+                if !*slot {
+                    *slot = true;
+                    out.extend(node_reqs);
+                }
+            }
+            LayoutKind::Paged => {
+                let page = ix.paged.page_of(id)?;
+                let slot = &mut self.set[page as usize];
+                if !*slot {
+                    *slot = true;
+                    out.push(ix.paged.page_req(page, 1, prov));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl VectorIndex for DiskAnnIndex {
@@ -207,6 +310,7 @@ impl VectorIndex for DiskAnnIndex {
         }
         let l = params.search_list.max(k);
         let w = params.beam_width.max(1);
+        let strat = params.io;
         let mut trace = QueryTrace::new();
 
         // Building the ADC table costs ksub sub-distance rows ≈ ksub
@@ -228,6 +332,11 @@ impl VectorIndex for DiskAnnIndex {
         // Exact distances of every fetched (visited) node, for final rerank.
         let mut exact = TopK::new(l.max(k));
 
+        // What is already in memory from earlier (possibly speculative)
+        // fetches. Paged layout tracks whole pages — the co-location win;
+        // the naive layout only ever re-serves look-ahead prefetches.
+        let mut fetched = FetchedSet::new(self, strat);
+
         loop {
             // Frontier: up to W closest unvisited candidates within the top-L.
             let mut frontier: Vec<u32> = Vec::with_capacity(w);
@@ -244,14 +353,48 @@ impl VectorIndex for DiskAnnIndex {
                 break;
             }
 
-            // One beam: all node records fetched in parallel.
+            // One beam: every frontier record not already in memory, fetched
+            // in parallel (page-granular and in-beam-deduplicated under the
+            // paged layout).
             let mut reqs = Vec::with_capacity(frontier.len());
             for &id in &frontier {
-                reqs.extend(
-                    self.layout
-                        .node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency),
-                );
+                fetched.demand(self, u64::from(id), &mut reqs)?;
             }
+
+            // Look-ahead: predict the next frontier and issue its reads
+            // speculatively while this hop's distances are computed. A
+            // speculated node only wastes its read if it is later displaced
+            // from the top-L (anything that stays gets visited before the
+            // loop ends), so prediction is confidence-gated: wait until the
+            // candidate list is full (early hops churn the most) and only
+            // trust unvisited candidates ranked in the top half — a
+            // displacement from there needs L/2 closer nodes to arrive.
+            let mut prefetch: Vec<IoReq> = Vec::new();
+            if strat.look_ahead && cands.len() >= l {
+                let mut predicted = 0usize;
+                for c in cands.iter().take(l / 2) {
+                    if c.visited {
+                        continue;
+                    }
+                    fetched.speculate(self, u64::from(c.id), &mut prefetch)?;
+                    predicted += 1;
+                    if predicted == w {
+                        break;
+                    }
+                }
+            }
+
+            // Pipelined search submits the whole beam asynchronously and
+            // computes on records as they arrive, so the hop costs
+            // max(beam flight, hop compute) instead of their sum; phased
+            // search blocks on the whole beam before any compute. Prefetch
+            // requests always ride in the overlapped portion.
+            let mut inflight = if strat.pipelined {
+                std::mem::take(&mut reqs)
+            } else {
+                Vec::new()
+            };
+            inflight.append(&mut prefetch);
             trace.push_read(reqs);
 
             // The fetched records contain the full vectors (exact rerank) and
@@ -291,8 +434,24 @@ impl VectorIndex for DiskAnnIndex {
                     );
                 }
             }
-            trace.push_compute(frontier.len() as u64, dim as u32);
-            trace.push_pq_lookup(pq_lookups, self.pq.m() as u32);
+            if inflight.is_empty() {
+                trace.push_compute(frontier.len() as u64, dim as u32);
+                trace.push_pq_lookup(pq_lookups, self.pq.m() as u32);
+            } else {
+                trace.push_overlapped(
+                    inflight,
+                    vec![
+                        CpuOp::Compute {
+                            count: frontier.len() as u64,
+                            dim: dim as u32,
+                        },
+                        CpuOp::PqLookup {
+                            count: pq_lookups,
+                            m: self.pq.m() as u32,
+                        },
+                    ],
+                );
+            }
         }
 
         let mut neighbors = exact.into_sorted_vec();

@@ -147,7 +147,7 @@ impl FreshDiskAnnIndex {
         }
         let mut trace = QueryTrace::new();
         // Placement search: beam over the graph, reads as in a query.
-        let (visited, read_steps) = self.placement_search(vector);
+        let (visited, read_steps) = self.placement_search(vector)?;
         trace.steps.extend(read_steps);
 
         let id = self.data.len() as u32;
@@ -164,7 +164,7 @@ impl FreshDiskAnnIndex {
         // Write the new record plus every dirtied in-neighbor record.
         let layout = self.layout();
         let mut writes = Vec::new();
-        writes.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency));
+        writes.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency)?);
         for nb in out {
             let adj = &mut self.adj[nb as usize];
             if !adj.contains(&id) {
@@ -180,7 +180,7 @@ impl FreshDiskAnnIndex {
                     self.adj[nb as usize] =
                         robust_prune(&self.data, self.metric, nb, cands, alpha, self.r);
                 }
-                writes.extend(layout.node_reqs(nb as u64, sann_obs::IoProvenance::GraphAdjacency));
+                writes.extend(layout.node_reqs(nb as u64, sann_obs::IoProvenance::GraphAdjacency)?);
             }
         }
         // Traces carry read/compute work; the dirtied records are exposed
@@ -265,7 +265,11 @@ impl FreshDiskAnnIndex {
 
     /// Beam placement search used by inserts: returns the visited set (with
     /// distances) and the read steps performed.
-    fn placement_search(&self, query: &[f32]) -> (Vec<Neighbor>, Vec<TraceStep>) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors for out-of-range graph edges.
+    fn placement_search(&self, query: &[f32]) -> Result<(Vec<Neighbor>, Vec<TraceStep>)> {
         let l = self.config.l_insert.max(8);
         let w = 4usize;
         let layout = self.layout();
@@ -293,7 +297,7 @@ impl FreshDiskAnnIndex {
             }
             let mut reqs = Vec::new();
             for &id in &frontier {
-                reqs.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency));
+                reqs.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency)?);
             }
             steps.push(TraceStep::Read { reqs });
             for &id in &frontier {
@@ -314,7 +318,7 @@ impl FreshDiskAnnIndex {
                 }
             }
         }
-        (visited, steps)
+        Ok((visited, steps))
     }
 }
 
@@ -376,7 +380,7 @@ impl VectorIndex for FreshDiskAnnIndex {
             }
             let mut reqs = Vec::new();
             for &id in &frontier {
-                reqs.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency));
+                reqs.extend(layout.node_reqs(id as u64, sann_obs::IoProvenance::GraphAdjacency)?);
             }
             trace.push_read(reqs);
             let mut lookups = 0u64;

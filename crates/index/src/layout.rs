@@ -15,7 +15,7 @@
 //!   for 1536-dimensional datasets.
 
 use crate::trace::IoReq;
-use sann_core::cast;
+use sann_core::{cast, Error, Result};
 use sann_obs::IoProvenance;
 
 /// Device sector (and page-cache page) size in bytes.
@@ -96,25 +96,40 @@ impl DiskLayout {
 
     /// First sector (byte offset) of node `id`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id >= n_nodes`.
-    pub fn node_offset(&self, id: u64) -> u64 {
-        assert!(id < self.n_nodes, "node id out of range");
-        if let Some(sector) = id.checked_div(self.nodes_per_sector) {
-            self.base_offset + sector * SECTOR_BYTES
-        } else {
-            self.base_offset + id * self.sectors_per_node * SECTOR_BYTES
+    /// Returns [`Error::InvalidParameter`] if `id >= n_nodes` — an id a
+    /// corrupt graph or a stale caller handed us, which must surface as a
+    /// recoverable error rather than tearing down the whole sweep (the
+    /// PR 5 panic-path policy).
+    pub fn node_offset(&self, id: u64) -> Result<u64> {
+        if id >= self.n_nodes {
+            return Err(Error::invalid_parameter(
+                "node_id",
+                format!("id {id} out of range for layout of {} nodes", self.n_nodes),
+            ));
         }
+        Ok(
+            if let Some(sector) = id.checked_div(self.nodes_per_sector) {
+                self.base_offset + sector * SECTOR_BYTES
+            } else {
+                self.base_offset + id * self.sectors_per_node * SECTOR_BYTES
+            },
+        )
     }
 
     /// The read requests needed to fetch node `id`: one 4 KiB request per
     /// sector the record occupies, tagged with `provenance`. Needed bytes
     /// are the record's `node_bytes` spread over its sectors, so
     /// fetched-vs-needed accounting sees the sector padding exactly.
-    pub fn node_reqs(&self, id: u64, provenance: IoProvenance) -> Vec<IoReq> {
-        let first = self.node_offset(id);
-        (0..self.sectors_per_node.max(1))
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `id >= n_nodes` (see
+    /// [`DiskLayout::node_offset`]).
+    pub fn node_reqs(&self, id: u64, provenance: IoProvenance) -> Result<Vec<IoReq>> {
+        let first = self.node_offset(id)?;
+        Ok((0..self.sectors_per_node.max(1))
             .map(|s| {
                 let needed =
                     (self.node_bytes - (s * SECTOR_BYTES).min(self.node_bytes)).min(SECTOR_BYTES);
@@ -125,7 +140,7 @@ impl DiskLayout {
                     provenance,
                 )
             })
-            .collect()
+            .collect())
     }
 
     /// Total bytes the layout occupies on the device (sector-aligned).
@@ -181,7 +196,7 @@ mod tests {
         let layout = DiskLayout::new(1000, 768 * 4 + 4 + 64 * 4, 0);
         assert_eq!(layout.nodes_per_sector(), 1);
         assert_eq!(layout.sectors_per_node(), 1);
-        let reqs = layout.node_reqs(5, IoProvenance::GraphAdjacency);
+        let reqs = layout.node_reqs(5, IoProvenance::GraphAdjacency).unwrap();
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].len, 4096);
         assert_eq!(reqs[0].offset, 5 * 4096);
@@ -194,7 +209,7 @@ mod tests {
         // 1536-d f32 vector + degree + 64 neighbors = 6404 bytes.
         let layout = DiskLayout::new(1000, 1536 * 4 + 4 + 64 * 4, 0);
         assert_eq!(layout.sectors_per_node(), 2);
-        let reqs = layout.node_reqs(3, IoProvenance::GraphAdjacency);
+        let reqs = layout.node_reqs(3, IoProvenance::GraphAdjacency).unwrap();
         assert_eq!(reqs.len(), 2);
         assert_eq!(
             reqs.iter().map(|r| r.needed as u64).sum::<u64>(),
@@ -215,22 +230,33 @@ mod tests {
     fn small_nodes_pack() {
         let layout = DiskLayout::new(10, 1000, 0);
         assert_eq!(layout.nodes_per_sector(), 4);
-        assert_eq!(layout.node_offset(0), layout.node_offset(3));
-        assert_ne!(layout.node_offset(3), layout.node_offset(4));
+        assert_eq!(
+            layout.node_offset(0).unwrap(),
+            layout.node_offset(3).unwrap()
+        );
+        assert_ne!(
+            layout.node_offset(3).unwrap(),
+            layout.node_offset(4).unwrap()
+        );
         assert_eq!(layout.total_bytes(), 3 * 4096);
     }
 
     #[test]
     fn base_offset_applies() {
         let layout = DiskLayout::new(4, 4096, 8192);
-        assert_eq!(layout.node_offset(0), 8192);
+        assert_eq!(layout.node_offset(0).unwrap(), 8192);
         assert_eq!(layout.end_offset(), 8192 + 4 * 4096);
     }
 
     #[test]
-    #[should_panic(expected = "node id out of range")]
-    fn out_of_range_id_panics() {
-        DiskLayout::new(4, 128, 0).node_offset(99);
+    fn out_of_range_id_is_an_error() {
+        // Regression: this used to panic (`assert!(id < n_nodes)`), tearing
+        // down a whole sweep on one corrupt graph edge. It must be a
+        // recoverable InvalidParameter error instead.
+        let layout = DiskLayout::new(4, 128, 0);
+        assert!(layout.node_offset(99).is_err());
+        assert!(layout.node_reqs(99, IoProvenance::GraphAdjacency).is_err());
+        assert!(layout.node_offset(3).is_ok(), "last valid id still works");
     }
 
     #[test]
@@ -241,6 +267,35 @@ mod tests {
         assert_eq!(reqs[1].len, 128 * 1024);
         assert_eq!(reqs[2].len as u64, 300 * 1024 - 256 * 1024);
         assert_eq!(reqs[1].offset, 128 * 1024);
+        // An aligned range needs every byte it fetches.
+        assert!(reqs.iter().all(|r| r.needed == r.len));
+    }
+
+    #[test]
+    fn range_reqs_tail_needed_is_exact() {
+        // Regression: the tail request's needed bytes must be the exact
+        // payload overlap, not rounded up to the fetched sector — rounding
+        // up silently deflates read-amplification stats for unaligned
+        // ranges.
+        let reqs = range_reqs(0, 128 * 1024 + 1, IoProvenance::IvfPostingList);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].needed, 128 * 1024);
+        assert_eq!(reqs[1].len, 4096, "tail fetches a whole sector");
+        assert_eq!(reqs[1].needed, 1, "but needs exactly one payload byte");
+
+        // Unaligned start and tail, spanning a request split: slop at both
+        // ends counts as amplification, everything in between is needed.
+        let reqs = range_reqs(1000, 200 * 1024, IoProvenance::IvfPostingList);
+        let total_needed: u64 = reqs.iter().map(|r| u64::from(r.needed)).sum();
+        assert_eq!(total_needed, 200 * 1024, "needed sums to the payload");
+        assert_eq!(reqs[0].needed as u64, 128 * 1024 - 1000);
+        let tail = reqs.last().unwrap();
+        assert_eq!(
+            tail.needed as u64,
+            200 * 1024 - (128 * 1024 - 1000),
+            "tail needed is the remaining payload, not the fetched sectors"
+        );
+        assert!(u64::from(tail.needed) < u64::from(tail.len));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod hnsw_mmap;
 pub mod hnsw_sq;
 pub mod ivf;
 pub mod layout;
+pub mod paged;
 pub mod par;
 pub mod persist;
 pub mod spann;
@@ -56,11 +57,74 @@ pub use hnsw_mmap::MmapHnswIndex;
 pub use hnsw_sq::HnswSqIndex;
 pub use ivf::{IvfConfig, IvfIndex, IvfPqIndex};
 pub use layout::DiskLayout;
+pub use paged::PagedLayout;
 pub use spann::{SpannConfig, SpannIndex};
-pub use trace::{IoReq, QueryTrace, SearchOutput, TraceStep};
+pub use trace::{CpuOp, IoReq, QueryTrace, SearchOutput, TraceStep};
 pub use vamana::{VamanaConfig, VamanaGraph};
 
 use sann_core::{Neighbor, Result};
+
+/// Which on-device placement a storage-based search reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutKind {
+    /// Sequential-by-id node records ([`DiskLayout`], today's default).
+    #[default]
+    Naive,
+    /// Neighbor co-location into multi-sector pages ([`PagedLayout`]),
+    /// with in-page duplicate-visit elimination.
+    Paged,
+}
+
+/// One point of the I/O design space for storage-based beam search:
+/// {naive, page-aligned} x {no-prefetch, look-ahead} x {phased, pipelined}.
+///
+/// The default (`Naive` / no look-ahead / phased) reproduces today's
+/// behavior byte-for-byte; the other seven combinations are the design
+/// points the `vdbbench explore` sweep measures against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStrategy {
+    /// On-device placement of node records.
+    pub layout: LayoutKind,
+    /// Speculatively issue reads for the likely next-hop nodes while the
+    /// current beam's distances are being computed.
+    pub look_ahead: bool,
+    /// Software-pipelined beam search: submit the whole beam
+    /// asynchronously and compute on records as they arrive, so a hop
+    /// costs max(beam flight, hop compute) instead of their sum.
+    pub pipelined: bool,
+}
+
+impl IoStrategy {
+    /// Short stable label (`naive+la+pipe` style) for tables and CSVs.
+    pub fn label(&self) -> String {
+        format!(
+            "{}{}{}",
+            match self.layout {
+                LayoutKind::Naive => "naive",
+                LayoutKind::Paged => "paged",
+            },
+            if self.look_ahead { "+la" } else { "" },
+            if self.pipelined { "+pipe" } else { "" },
+        )
+    }
+
+    /// All eight design points, baseline first, in a stable report order.
+    pub fn all() -> Vec<IoStrategy> {
+        let mut out = Vec::with_capacity(8);
+        for layout in [LayoutKind::Naive, LayoutKind::Paged] {
+            for look_ahead in [false, true] {
+                for pipelined in [false, true] {
+                    out.push(IoStrategy {
+                        layout,
+                        look_ahead,
+                        pipelined,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
 
 /// Search-time parameters, a superset across index families.
 ///
@@ -68,8 +132,9 @@ use sann_core::{Neighbor, Result};
 ///
 /// * IVF reads [`nprobe`](SearchParams::nprobe),
 /// * HNSW reads [`ef_search`](SearchParams::ef_search),
-/// * DiskANN reads [`search_list`](SearchParams::search_list) and
-///   [`beam_width`](SearchParams::beam_width) (the paper's §VI parameters).
+/// * DiskANN reads [`search_list`](SearchParams::search_list),
+///   [`beam_width`](SearchParams::beam_width) (the paper's §VI parameters)
+///   and the [`io`](SearchParams::io) strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchParams {
     /// IVF: number of candidate clusters scanned.
@@ -80,17 +145,21 @@ pub struct SearchParams {
     pub search_list: usize,
     /// DiskANN: number of node reads issued in parallel per hop (`W`).
     pub beam_width: usize,
+    /// Storage-based indexes: layout / prefetch / pipelining strategy.
+    pub io: IoStrategy,
 }
 
 impl Default for SearchParams {
     /// The paper's Table II defaults: `nprobe` tuned per dataset (16 here),
-    /// `efSearch` 27, `search_list` 10, `beam_width` 4.
+    /// `efSearch` 27, `search_list` 10, `beam_width` 4, and the naive
+    /// phased I/O strategy.
     fn default() -> Self {
         SearchParams {
             nprobe: 16,
             ef_search: 27,
             search_list: 10,
             beam_width: 4,
+            io: IoStrategy::default(),
         }
     }
 }
@@ -117,6 +186,12 @@ impl SearchParams {
     /// Sets `beam_width`.
     pub fn with_beam_width(mut self, w: usize) -> Self {
         self.beam_width = w;
+        self
+    }
+
+    /// Sets the I/O strategy.
+    pub fn with_io(mut self, io: IoStrategy) -> Self {
+        self.io = io;
         self
     }
 }

@@ -71,6 +71,25 @@ impl IoReq {
     }
 }
 
+/// One unit of CPU work carried inside an overlapped step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpuOp {
+    /// Full-precision distance computations.
+    Compute {
+        /// Number of distance evaluations.
+        count: u64,
+        /// Vector dimensionality of each evaluation.
+        dim: u32,
+    },
+    /// Product-quantization ADC lookups.
+    PqLookup {
+        /// Number of code distances evaluated.
+        count: u64,
+        /// Code length in bytes.
+        m: u32,
+    },
+}
+
 /// One unit of sequentially-ordered work inside a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceStep {
@@ -97,17 +116,38 @@ pub enum TraceStep {
         /// The requests in the batch.
         reqs: Vec<IoReq>,
     },
+    /// Reads and CPU work proceeding concurrently: the requests are in
+    /// flight *while* the CPU ops run, and the step completes when both
+    /// finish (software-pipelined beam search / look-ahead prefetch). An
+    /// overlapped step is *not* a dependency barrier for phase
+    /// classification: a trailing overlapped step whose reads are pure
+    /// prefetch does not make the compute before it part of the search
+    /// loop — see [`QueryTrace::step_phases`].
+    Overlapped {
+        /// The speculative / pipelined requests in flight.
+        reqs: Vec<IoReq>,
+        /// The CPU work running while the requests are serviced
+        /// (empty for a prefetch-only step).
+        cpu: Vec<CpuOp>,
+    },
 }
 
 impl TraceStep {
     /// The observability [`Phase`](sann_obs::Phase) this step is billed
     /// to. CPU steps (full-precision compute and PQ lookups) are
     /// [`Compute`](sann_obs::Phase::Compute) — unless they trail the last
-    /// read beam, in which case they are the query's
+    /// *blocking* read beam, in which case they are the query's
     /// [`Rerank`](sann_obs::Phase::Rerank) pass; read beams are
     /// [`BeamIssue`](sann_obs::Phase::BeamIssue) (the engine splits the
     /// beam's service time into flash-service / cache-hit on its own,
-    /// since only it knows the cache state).
+    /// since only it knows the cache state). Overlapped steps bill to
+    /// beam-issue: their reads define the step, and the engine attributes
+    /// the concurrent CPU time itself.
+    ///
+    /// `after_last_read` must mean "after the last *blocking*
+    /// [`Read`](TraceStep::Read)": a trailing overlapped step whose reads
+    /// are speculative prefetch must not demote the true rerank pass
+    /// before it back to plain compute.
     pub fn phase(&self, after_last_read: bool) -> sann_obs::Phase {
         match self {
             TraceStep::Compute { .. } | TraceStep::PqLookup { .. } => {
@@ -117,7 +157,7 @@ impl TraceStep {
                     sann_obs::Phase::Compute
                 }
             }
-            TraceStep::Read { .. } => sann_obs::Phase::BeamIssue,
+            TraceStep::Read { .. } | TraceStep::Overlapped { .. } => sann_obs::Phase::BeamIssue,
         }
     }
 }
@@ -173,29 +213,57 @@ impl QueryTrace {
         self.steps.push(TraceStep::Read { reqs });
     }
 
-    /// Total number of I/O requests issued.
+    /// Appends an overlapped step: `reqs` in flight while `cpu` runs.
+    /// Zero-work CPU ops are dropped; with no requests left the step
+    /// degenerates to plain sequential CPU steps (there is nothing to
+    /// overlap with), and an empty call is a no-op.
+    pub fn push_overlapped(&mut self, reqs: Vec<IoReq>, cpu: Vec<CpuOp>) {
+        let cpu: Vec<CpuOp> = cpu
+            .into_iter()
+            .filter(|op| match op {
+                CpuOp::Compute { count, .. } | CpuOp::PqLookup { count, .. } => *count > 0,
+            })
+            .collect();
+        if reqs.is_empty() {
+            for op in cpu {
+                match op {
+                    CpuOp::Compute { count, dim } => self.push_compute(count, dim),
+                    CpuOp::PqLookup { count, m } => self.push_pq_lookup(count, m),
+                }
+            }
+            return;
+        }
+        self.steps.push(TraceStep::Overlapped { reqs, cpu });
+    }
+
+    /// Total number of I/O requests issued (blocking and overlapped).
     pub fn io_count(&self) -> u64 {
         self.steps
             .iter()
             .map(|s| match s {
-                TraceStep::Read { reqs } => reqs.len() as u64,
+                TraceStep::Read { reqs } | TraceStep::Overlapped { reqs, .. } => reqs.len() as u64,
                 _ => 0,
             })
             .sum()
     }
 
-    /// Total bytes read.
+    /// Total bytes read (blocking and overlapped).
     pub fn read_bytes(&self) -> u64 {
         self.steps
             .iter()
             .map(|s| match s {
-                TraceStep::Read { reqs } => reqs.iter().map(|r| r.len as u64).sum(),
+                TraceStep::Read { reqs } | TraceStep::Overlapped { reqs, .. } => {
+                    reqs.iter().map(|r| r.len as u64).sum()
+                }
                 _ => 0,
             })
             .sum()
     }
 
-    /// Number of read beams (graph hops for DiskANN).
+    /// Number of *blocking* read beams (graph round trips for DiskANN).
+    /// Overlapped steps ride on the blocking beam of their hop — pipelined
+    /// search still performs one dependency round trip per hop — so they
+    /// are not counted separately.
     pub fn hops(&self) -> u64 {
         self.steps
             .iter()
@@ -203,12 +271,20 @@ impl QueryTrace {
             .count() as u64
     }
 
-    /// Total full-precision distance evaluations.
+    /// Total full-precision distance evaluations (including those running
+    /// under overlapped steps).
     pub fn compute_count(&self) -> u64 {
         self.steps
             .iter()
             .map(|s| match s {
                 TraceStep::Compute { count, .. } => *count,
+                TraceStep::Overlapped { cpu, .. } => cpu
+                    .iter()
+                    .map(|op| match op {
+                        CpuOp::Compute { count, .. } => *count,
+                        CpuOp::PqLookup { .. } => 0,
+                    })
+                    .sum(),
                 _ => 0,
             })
             .sum()
@@ -219,13 +295,18 @@ impl QueryTrace {
     ///
     /// - compute / PQ-lookup steps carry non-zero work at non-zero width;
     /// - read beams are non-empty (an empty beam would be a zero-length
-    ///   dependency barrier — a plan-construction bug);
+    ///   dependency barrier — a plan-construction bug); overlapped steps
+    ///   carry at least one request (a request-less overlap degenerates to
+    ///   plain CPU steps at construction) and only well-formed CPU ops;
     /// - every [`IoReq`] is whole-sector: 4 KiB-aligned offset and a
     ///   positive, 4 KiB-multiple length (the layouts in [`crate::layout`]
     ///   construct requests this way; anything else would silently model
     ///   sub-sector device traffic);
-    /// - no beam is wider than `max_beam` requests (`0` = unlimited, for
-    ///   index types without a beam-width knob).
+    /// - no blocking beam is wider than `max_beam` requests (`0` =
+    ///   unlimited, for index types without a beam-width knob); an
+    ///   overlapped step may carry up to `2 * max_beam` — the pipelined
+    ///   remainder of the current beam plus a look-ahead window of at most
+    ///   one further beam.
     ///
     /// # Errors
     ///
@@ -237,6 +318,26 @@ impl QueryTrace {
                 "trace",
                 format!("step {step}: {what}"),
             ))
+        };
+        let check_reqs = |i: usize, reqs: &[IoReq], cap: usize| -> Result<()> {
+            if reqs.is_empty() {
+                return bad(i, "empty read beam".to_string());
+            }
+            if cap > 0 && reqs.len() > cap {
+                return bad(
+                    i,
+                    format!("beam of {} exceeds beam_width {cap}", reqs.len()),
+                );
+            }
+            for r in reqs {
+                if !r.offset.is_multiple_of(SECTOR_BYTES) {
+                    return bad(i, format!("unaligned read at offset {}", r.offset));
+                }
+                if r.len == 0 || !u64::from(r.len).is_multiple_of(SECTOR_BYTES) {
+                    return bad(i, format!("non-sector read length {}", r.len));
+                }
+            }
+            Ok(())
         };
         for (i, step) in self.steps.iter().enumerate() {
             match step {
@@ -250,22 +351,27 @@ impl QueryTrace {
                         return bad(i, format!("degenerate pq lookup ({count} x m {m})"));
                     }
                 }
-                TraceStep::Read { reqs } => {
-                    if reqs.is_empty() {
-                        return bad(i, "empty read beam".to_string());
-                    }
-                    if max_beam > 0 && reqs.len() > max_beam {
-                        return bad(
-                            i,
-                            format!("beam of {} exceeds beam_width {max_beam}", reqs.len()),
-                        );
-                    }
-                    for r in reqs {
-                        if !r.offset.is_multiple_of(SECTOR_BYTES) {
-                            return bad(i, format!("unaligned read at offset {}", r.offset));
-                        }
-                        if r.len == 0 || !u64::from(r.len).is_multiple_of(SECTOR_BYTES) {
-                            return bad(i, format!("non-sector read length {}", r.len));
+                TraceStep::Read { reqs } => check_reqs(i, reqs, max_beam)?,
+                TraceStep::Overlapped { reqs, cpu } => {
+                    check_reqs(i, reqs, max_beam.saturating_mul(2))?;
+                    for op in cpu {
+                        match op {
+                            CpuOp::Compute { count, dim } => {
+                                if *count == 0 || *dim == 0 {
+                                    return bad(
+                                        i,
+                                        format!("degenerate overlapped compute ({count} x {dim})"),
+                                    );
+                                }
+                            }
+                            CpuOp::PqLookup { count, m } => {
+                                if *count == 0 || *m == 0 {
+                                    return bad(
+                                        i,
+                                        format!("degenerate overlapped pq lookup ({count} x {m})"),
+                                    );
+                                }
+                            }
                         }
                     }
                 }
@@ -276,7 +382,10 @@ impl QueryTrace {
 
     /// Per-step phase annotations: each step billed to the
     /// [`Phase`](sann_obs::Phase) given by [`TraceStep::phase`], with CPU
-    /// steps after the final read beam classified as the rerank pass.
+    /// steps after the final *blocking* read beam classified as the rerank
+    /// pass. Overlapped steps do not move the rerank boundary: a trailing
+    /// prefetch-only overlap is speculative I/O riding on the rerank, not
+    /// a continuation of the search loop.
     pub fn step_phases(&self) -> Vec<sann_obs::Phase> {
         let last_read = self
             .steps
@@ -289,12 +398,19 @@ impl QueryTrace {
             .collect()
     }
 
-    /// Total PQ lookups.
+    /// Total PQ lookups (including those running under overlapped steps).
     pub fn pq_lookup_count(&self) -> u64 {
         self.steps
             .iter()
             .map(|s| match s {
                 TraceStep::PqLookup { count, .. } => *count,
+                TraceStep::Overlapped { cpu, .. } => cpu
+                    .iter()
+                    .map(|op| match op {
+                        CpuOp::PqLookup { count, .. } => *count,
+                        CpuOp::Compute { .. } => 0,
+                    })
+                    .sum(),
                 _ => 0,
             })
             .sum()
@@ -427,5 +543,112 @@ mod tests {
         t.push_read(vec![IoReq::new(4096, 4096)]);
         assert_eq!(t.steps.len(), 2);
         assert_eq!(t.hops(), 2);
+    }
+
+    #[test]
+    fn overlapped_steps_count_in_aggregates() {
+        let mut t = QueryTrace::new();
+        t.push_read(vec![IoReq::new(0, 4096)]);
+        t.push_overlapped(
+            vec![IoReq::new(4096, 4096), IoReq::new(8192, 4096)],
+            vec![
+                CpuOp::Compute { count: 4, dim: 768 },
+                CpuOp::PqLookup { count: 32, m: 48 },
+            ],
+        );
+        t.push_compute(10, 768);
+        assert_eq!(t.io_count(), 3, "overlapped reqs count as I/Os");
+        assert_eq!(t.read_bytes(), 3 * 4096);
+        assert_eq!(t.hops(), 1, "overlapped steps are not extra hops");
+        assert_eq!(t.compute_count(), 14);
+        assert_eq!(t.pq_lookup_count(), 32);
+    }
+
+    #[test]
+    fn push_overlapped_degrades_without_reqs() {
+        // No requests: nothing to overlap with, so the CPU ops become
+        // plain sequential steps (and zero-count ops are dropped).
+        let mut t = QueryTrace::new();
+        t.push_overlapped(
+            vec![],
+            vec![
+                CpuOp::Compute { count: 4, dim: 768 },
+                CpuOp::Compute { count: 0, dim: 768 },
+                CpuOp::PqLookup { count: 8, m: 48 },
+            ],
+        );
+        assert_eq!(
+            t.steps,
+            vec![
+                TraceStep::Compute { count: 4, dim: 768 },
+                TraceStep::PqLookup { count: 8, m: 48 },
+            ]
+        );
+        // Fully empty call is a no-op.
+        let mut empty = QueryTrace::new();
+        empty.push_overlapped(vec![], vec![]);
+        assert!(empty.steps.is_empty());
+    }
+
+    #[test]
+    fn trailing_prefetch_overlap_keeps_rerank() {
+        // Regression: compute that precedes a prefetch-only trailing
+        // overlapped step is still the rerank pass — the speculative reads
+        // must not demote it back to plain compute.
+        use sann_obs::Phase;
+        let mut t = QueryTrace::new();
+        t.push_read(vec![IoReq::new(0, 4096)]);
+        t.push_compute(10, 768);
+        t.push_overlapped(vec![IoReq::new(4096, 4096)], vec![]);
+        assert_eq!(
+            t.step_phases(),
+            vec![Phase::BeamIssue, Phase::Rerank, Phase::BeamIssue]
+        );
+    }
+
+    #[test]
+    fn validate_checks_overlapped_steps() {
+        let ok = QueryTrace {
+            steps: vec![TraceStep::Overlapped {
+                reqs: vec![IoReq::new(0, 4096), IoReq::new(4096, 4096)],
+                cpu: vec![CpuOp::Compute { count: 4, dim: 768 }],
+            }],
+        };
+        assert!(ok.validate(0).is_ok());
+        // Overlapped steps get a 2x allowance: pipelined remainder of the
+        // current beam plus one look-ahead window.
+        assert!(ok.validate(1).is_ok());
+        let wide = QueryTrace {
+            steps: vec![TraceStep::Overlapped {
+                reqs: vec![
+                    IoReq::new(0, 4096),
+                    IoReq::new(4096, 4096),
+                    IoReq::new(8192, 4096),
+                ],
+                cpu: vec![],
+            }],
+        };
+        assert!(wide.validate(1).is_err(), "3 reqs exceed 2 * beam_width 1");
+        let unaligned = QueryTrace {
+            steps: vec![TraceStep::Overlapped {
+                reqs: vec![IoReq::new(100, 4096)],
+                cpu: vec![],
+            }],
+        };
+        assert!(unaligned.validate(0).is_err());
+        let empty = QueryTrace {
+            steps: vec![TraceStep::Overlapped {
+                reqs: vec![],
+                cpu: vec![CpuOp::Compute { count: 4, dim: 768 }],
+            }],
+        };
+        assert!(empty.validate(0).is_err(), "request-less overlap rejected");
+        let zero_op = QueryTrace {
+            steps: vec![TraceStep::Overlapped {
+                reqs: vec![IoReq::new(0, 4096)],
+                cpu: vec![CpuOp::PqLookup { count: 0, m: 48 }],
+            }],
+        };
+        assert!(zero_op.validate(0).is_err());
     }
 }

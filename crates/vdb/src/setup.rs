@@ -6,8 +6,8 @@ use crate::profiles::DbProfile;
 use sann_core::{Dataset, Metric, Result};
 use sann_datagen::{DatasetSpec, GroundTruth};
 use sann_index::{
-    DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, HnswSqIndex, IvfConfig, IvfIndex,
-    IvfPqIndex, SearchParams, VamanaConfig, VectorIndex,
+    DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, HnswSqIndex, IoStrategy, IvfConfig,
+    IvfIndex, IvfPqIndex, SearchParams, VamanaConfig, VectorIndex,
 };
 
 /// One of the paper's seven (database × index) configurations.
@@ -133,6 +133,7 @@ impl TunedParams {
             ef_search: self.ef_search,
             search_list: self.search_list,
             beam_width: self.beam_width,
+            io: IoStrategy::default(),
         }
     }
 }
@@ -295,8 +296,25 @@ impl Setup {
         truth: &GroundTruth,
         k: usize,
     ) -> Result<f64> {
-        let params = self.params.search_params();
-        let ids = sann_index::search_ids(index, queries, k, &params)?;
+        self.recall_with(index, queries, truth, k, &self.params.search_params())
+    }
+
+    /// Like [`Setup::recall`] but with explicit [`SearchParams`] — the
+    /// I/O design-space explorer varies [`IoStrategy`] while keeping the
+    /// tuned knobs fixed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors.
+    pub fn recall_with(
+        &self,
+        index: &dyn VectorIndex,
+        queries: &Dataset,
+        truth: &GroundTruth,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<f64> {
+        let ids = sann_index::search_ids(index, queries, k, params)?;
         Ok(truth.mean_recall(&ids))
     }
 
@@ -312,10 +330,25 @@ impl Setup {
         queries: &Dataset,
         k: usize,
     ) -> Result<Vec<sann_index::QueryTrace>> {
-        let params = self.params.search_params();
+        self.traces_with(index, queries, k, &self.params.search_params())
+    }
+
+    /// Like [`Setup::traces`] but with explicit [`SearchParams`] — the
+    /// I/O design-space explorer collects traces per [`IoStrategy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors.
+    pub fn traces_with(
+        &self,
+        index: &dyn VectorIndex,
+        queries: &Dataset,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<sann_index::QueryTrace>> {
         let mut traces = Vec::with_capacity(queries.len());
         for q in queries.iter() {
-            traces.push(index.search(q, k, &params)?.trace);
+            traces.push(index.search(q, k, params)?.trace);
         }
         Ok(traces)
     }

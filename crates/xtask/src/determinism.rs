@@ -19,8 +19,9 @@
 //!
 //! Each pass also renders the `vdbbench iostat` report (per-provenance
 //! breakdown, queue-depth/utilization timelines, $/query ledger under
-//! healthy and aging devices) and byte-diffs the report text plus all four
-//! CSV exports across passes.
+//! healthy and aging devices) and the `vdbbench explore` report (the I/O
+//! design-space sweep over layout × prefetch × pipelining) and byte-diffs
+//! the report texts plus every CSV export across passes.
 //!
 //! Finally the audit sweeps twice more with the persistent artifact cache
 //! enabled against a scratch directory — once cold (populating it) and once
@@ -264,6 +265,26 @@ fn sweep(
             .map_err(|e| format!("iostat export {name}: {e}"))?;
         cells.push(Cell {
             label: format!("{}/iostat/{name}", spec.name),
+            bytes,
+        });
+    }
+    // The explore report — the I/O design-space sweep over layout ×
+    // prefetch × pipelining — folds in the same way: eight strategies'
+    // traces, plans, and simulated runs, all replayed byte-for-byte.
+    let args: Vec<String> = ["explore", "--clients", "4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let report = sann_bench::explore::run(&mut ctx, &args).map_err(|e| format!("explore: {e}"))?;
+    cells.push(Cell {
+        label: format!("{}/explore/report", spec.name),
+        bytes: report.into_bytes(),
+    });
+    for name in ["explore_sweep.csv", "explore_phases.csv"] {
+        let bytes = std::fs::read(results_dir.join(name))
+            .map_err(|e| format!("explore export {name}: {e}"))?;
+        cells.push(Cell {
+            label: format!("{}/explore/{name}", spec.name),
             bytes,
         });
     }

@@ -65,4 +65,14 @@ diff -r "$tmp/iostat-a" "$tmp/iostat-b"
 diff "$tmp/iostat-a.out" "$tmp/iostat-b.out"
 echo "iostat double run: identical report and CSVs"
 
+echo "==> vdbbench explore double-run byte-stability"
+# The I/O design-space sweep — eight {layout x prefetch x pipelining}
+# strategies at fixed tuned knobs — must replay byte-for-byte: the report
+# text and both CSV exports alike.
+"$bin" --cache-dir "$tmp/cache" --results "$tmp/explore-a" --scale 0.001 --dataset cohere-s --duration-secs 0.2 explore --clients 4 >"$tmp/explore-a.out" 2>/dev/null
+"$bin" --cache-dir "$tmp/cache" --results "$tmp/explore-b" --scale 0.001 --dataset cohere-s --duration-secs 0.2 explore --clients 4 >"$tmp/explore-b.out" 2>/dev/null
+diff -r "$tmp/explore-a" "$tmp/explore-b"
+diff "$tmp/explore-a.out" "$tmp/explore-b.out"
+echo "explore double run: identical report and CSVs"
+
 echo "All checks passed."

@@ -78,8 +78,16 @@ fn layout_requests_are_aligned() {
         let node_bytes = g.u64_in(1, 20_000);
         let layout = DiskLayout::new(n_nodes, node_bytes, 0);
         let id = g.u64_in(0, n_nodes);
-        let reqs = layout.node_reqs(id, sann::obs::IoProvenance::GraphAdjacency);
+        let reqs = layout
+            .node_reqs(id, sann::obs::IoProvenance::GraphAdjacency)
+            .expect("in-range id");
         assert!(!reqs.is_empty());
+        assert!(
+            layout
+                .node_reqs(n_nodes, sann::obs::IoProvenance::GraphAdjacency)
+                .is_err(),
+            "out-of-range id must surface as an error, not a panic"
+        );
         let mut covered = 0u64;
         let mut needed = 0u64;
         for r in &reqs {
@@ -94,7 +102,8 @@ fn layout_requests_are_aligned() {
             needed <= covered,
             "needed bytes cannot exceed fetched bytes"
         );
-        assert!(layout.node_offset(id) + covered <= layout.end_offset());
+        let first = layout.node_offset(id).expect("in-range id");
+        assert!(first + covered <= layout.end_offset());
     });
 }
 
@@ -107,7 +116,8 @@ fn layout_nodes_do_not_tear() {
         let a = g.u64_in(0, 1000);
         let b = g.u64_in(0, 1000);
         let layout = DiskLayout::new(1000, node_bytes, 0);
-        let (oa, ob) = (layout.node_offset(a), layout.node_offset(b));
+        let oa = layout.node_offset(a).expect("in-range id");
+        let ob = layout.node_offset(b).expect("in-range id");
         if a != b && node_bytes > 4096 {
             assert!(oa != ob);
         }
